@@ -1,0 +1,165 @@
+// Benchmarks regenerating the paper's evaluation section with the
+// standard testing.B machinery. One benchmark family per table/figure:
+//
+//	BenchmarkTable1   — AM-table construction, Lattice vs Sorting
+//	                    (k × stride grid of Table 1)
+//	BenchmarkFigure7  — the s=7 slice of Table 1 (the data Figure 7 plots)
+//	BenchmarkTable2   — node-code execution time for the Figure 8 shapes
+//	BenchmarkAblation — design-choice ablations (radix vs comparison sort,
+//	                    table-free walker vs tables, start-scan share)
+//
+// Each Table 1 iteration performs the paper's unit of work: constructing
+// the table on all 32 processors (times were reported as the max over
+// processors; the per-processor cost is ns/op divided by 32).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+const benchProcs = 32 // the paper's processor count
+
+func table1Problem(k, s int64, m int64) core.Problem {
+	return core.Problem{P: benchProcs, K: k, L: 0, S: s, M: m}
+}
+
+// runAllProcs constructs the AM table for every processor, the unit of
+// work one Table 1 measurement covers.
+func runAllProcs(b *testing.B, f func(core.Problem) (core.Sequence, error), k, s int64) {
+	b.Helper()
+	var total int
+	for m := int64(0); m < benchProcs; m++ {
+		seq, err := f(table1Problem(k, s, m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(seq.Gaps)
+	}
+	if total == 0 {
+		b.Fatal("no work performed")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, k := range bench.Table1Ks() {
+		for _, sc := range bench.Table1Strides() {
+			s := sc.Stride(k, benchProcs*k)
+			b.Run(fmt.Sprintf("k=%d/%s/Lattice", k, sc.Label), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runAllProcs(b, core.Lattice, k, s)
+				}
+			})
+			b.Run(fmt.Sprintf("k=%d/%s/Sorting", k, sc.Label), func(b *testing.B) {
+				sorter := core.Sorting
+				if k >= 64 {
+					sorter = core.SortingRadix // mirrors the original's switch
+				}
+				for i := 0; i < b.N; i++ {
+					runAllProcs(b, sorter, k, s)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for _, k := range bench.Table1Ks() {
+		b.Run(fmt.Sprintf("k=%d/Lattice", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runAllProcs(b, core.Lattice, k, 7)
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/Sorting", k), func(b *testing.B) {
+			sorter := core.Sorting
+			if k >= 64 {
+				sorter = core.SortingRadix
+			}
+			for i := 0; i < b.N; i++ {
+				runAllProcs(b, sorter, k, 7)
+			}
+		})
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	const elems = 10_000 // assignments per processor, as in Section 6.2
+	for _, tc := range bench.Table2Cases() {
+		for _, sh := range bench.Shapes() {
+			b.Run(fmt.Sprintf("k=%d/s=%d/%s", tc.K, tc.S, sh), func(b *testing.B) {
+				w, err := bench.BuildWorkload(benchProcs, tc.K, tc.S, 0, elems)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n, err := w.RunShape(sh)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if n != elems {
+						b.Fatalf("wrote %d of %d", n, elems)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblation isolates the design choices DESIGN.md calls out.
+func BenchmarkAblation(b *testing.B) {
+	// (1) The sort inside the baseline: comparison vs radix. The paper
+	// notes the baseline switched to radix at k >= 64 and that an in-place
+	// comparison sort would widen the lattice algorithm's lead.
+	for _, k := range []int64{64, 256, 512} {
+		b.Run(fmt.Sprintf("sorting-comparison/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runAllProcs(b, core.Sorting, k, 7)
+			}
+		})
+		b.Run(fmt.Sprintf("sorting-radix/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runAllProcs(b, core.SortingRadix, k, 7)
+			}
+		})
+	}
+	// (2) Table-free generation (walker) vs precomputed table: the
+	// space/time trade-off of Section 6.2.
+	const elems = 10_000
+	for _, k := range []int64{32, 256} {
+		wTab, err := bench.BuildWorkload(benchProcs, k, 15, 0, elems)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("gen-table/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wTab.RunShape(bench.ShapeD); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("gen-walker/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wTab.RunShape(bench.ShapeWalker); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// (3) Start-scan share: the O(k) scan and extended Euclid that both
+	// methods share (Figure 5 lines 3-11), measured via the Count API that
+	// performs exactly that work.
+	for _, k := range []int64{64, 512} {
+		b.Run(fmt.Sprintf("start-scan/k=%d", k), func(b *testing.B) {
+			pr := table1Problem(k, 7, benchProcs-1)
+			for i := 0; i < b.N; i++ {
+				if _, err := pr.Count(1 << 40); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

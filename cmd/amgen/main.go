@@ -1,0 +1,154 @@
+// Command amgen computes and prints memory access sequences for regular
+// sections of cyclic(k)-distributed arrays: the AM gap table, the lattice
+// basis vectors, ASCII layout figures in the style of the paper's
+// Figures 1–6, and the algorithm's visit trace.
+//
+// Usage:
+//
+//	amgen -p 4 -k 8 -l 4 -s 9 -m 1            # AM table (Figure 5 example)
+//	amgen -p 4 -k 8 -s 9 -basis               # R and L vectors
+//	amgen -p 4 -k 8 -l 0 -s 9 -fig -n 320     # layout figure (Figure 1)
+//	amgen -p 4 -k 8 -l 4 -s 9 -m 1 -trace     # visited points (Figure 6)
+//	amgen -p 4 -k 8 -l 4 -s 9 -all            # tables for every processor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lattice"
+	"repro/internal/section"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		p        = flag.Int64("p", 4, "number of processors")
+		k        = flag.Int64("k", 8, "block size of the cyclic(k) distribution")
+		l        = flag.Int64("l", 0, "section lower bound")
+		s        = flag.Int64("s", 9, "section stride (> 0)")
+		m        = flag.Int64("m", 0, "processor number")
+		n        = flag.Int64("n", 0, "template size for -fig (default 10 rows)")
+		fig      = flag.Bool("fig", false, "print the layout figure with the section marked")
+		basis    = flag.Bool("basis", false, "print the R/L lattice basis")
+		basisFig = flag.Bool("basisfig", false, "print the basis-scan figure (Figures 2/4)")
+		trace    = flag.Bool("trace", false, "print the gap-loop visit trace and mark it in a figure")
+		all      = flag.Bool("all", false, "print the AM table for every processor")
+		emit     = flag.String("emit", "", "emit C node code: a, b, c, d or free")
+	)
+	flag.Parse()
+	if err := run(*p, *k, *l, *s, *m, *n, *fig, *basis, *basisFig, *trace, *all, *emit); err != nil {
+		fmt.Fprintln(os.Stderr, "amgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p, k, l, s, m, n int64, fig, basis, basisFig, trace, all bool, emit string) error {
+	pr := core.Problem{P: p, K: k, L: l, S: s, M: m}
+	if err := pr.Validate(); err != nil {
+		return err
+	}
+	if n == 0 {
+		n = 10 * p * k
+	}
+
+	if emit != "" {
+		var (
+			out string
+			err error
+		)
+		switch emit {
+		case "a":
+			out, err = codegen.EmitCCode(codegen.EmitA, pr, "100.0")
+		case "b":
+			out, err = codegen.EmitCCode(codegen.EmitB, pr, "100.0")
+		case "c":
+			out, err = codegen.EmitCCode(codegen.EmitC_, pr, "100.0")
+		case "d":
+			out, err = codegen.EmitCCode(codegen.EmitD, pr, "100.0")
+		case "free":
+			out, err = codegen.EmitTableFree(pr, "100.0")
+		default:
+			return fmt.Errorf("unknown -emit shape %q (want a, b, c, d or free)", emit)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	if basis {
+		b, ok, err := core.Vectors(p, k, s)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("degenerate case: AM tables have length <= 1 on every processor")
+			return nil
+		}
+		fmt.Printf("R = (b=%d, a=%d), section index %d, local gap %d\n",
+			b.R.B, b.R.A, b.R.I, b.GapR)
+		fmt.Printf("L = (b=%d, a=%d), section index %d, local gap %d\n",
+			b.L.B, b.L.A, b.L.I, b.GapL)
+		fmt.Printf("basis check |R.a*L.i - L.a*R.i| = 1: %v\n", lattice.IsBasis(b.R, b.L))
+		return nil
+	}
+
+	if basisFig {
+		out, err := viz.BasisFigure(p, k, s, n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	if fig {
+		marks := viz.Marks{}
+		marks.MarkSection(section.Section{Lo: l, Hi: n - 1, Stride: s}, n)
+		marks.MarkStart(l)
+		fmt.Print(viz.Layout(dist.MustNew(p, k), n, marks))
+		return nil
+	}
+
+	if trace {
+		seq, visits, err := core.LatticeTrace(pr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(viz.AMTable(seq))
+		fmt.Println("visits (index, equation, on-processor):")
+		for _, v := range visits {
+			fmt.Printf("  %6d  eq%d  %v\n", v.Index, v.Equation, v.OnProc)
+		}
+		marks := viz.Marks{}
+		marks.MarkVisits(visits, n)
+		marks.MarkStart(l)
+		fmt.Print(viz.Layout(dist.MustNew(p, k), n, marks))
+		return nil
+	}
+
+	if all {
+		for proc := int64(0); proc < p; proc++ {
+			pr.M = proc
+			seq, err := core.Lattice(pr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("proc %d: %s\n", proc, viz.AMTable(seq))
+		}
+		return nil
+	}
+
+	seq, err := core.Lattice(pr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(viz.AMTable(seq))
+	return nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), ferr
+}
+
+func TestRunAMTable(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(4, 8, 4, 9, 1, 0, false, false, false, false, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "AM = [3, 12, 15, 12, 3, 12, 3, 12]") {
+		t.Errorf("paper AM table missing: %q", out)
+	}
+}
+
+func TestRunBasis(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(4, 8, 0, 9, 0, 0, false, true, false, false, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "R = (b=4, a=1)") || !strings.Contains(out, "L = (b=5, a=-1)") {
+		t.Errorf("basis output wrong: %q", out)
+	}
+}
+
+func TestRunBasisDegenerate(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(4, 1, 0, 3, 0, 0, false, true, false, false, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "degenerate") {
+		t.Errorf("degenerate message missing: %q", out)
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(4, 8, 0, 9, 0, 64, true, false, false, false, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "proc 0") || !strings.Contains(out, "[ 9]") {
+		t.Errorf("figure output wrong:\n%s", out)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(4, 8, 4, 9, 1, 320, false, false, false, true, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "eq2") || !strings.Contains(out, "visits") {
+		t.Errorf("trace output wrong:\n%s", out)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(4, 8, 4, 9, 0, 0, false, false, false, false, true, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		if !strings.Contains(out, "proc "+string(rune('0'+m))) {
+			t.Errorf("missing processor %d: %q", m, out)
+		}
+	}
+}
+
+func TestRunEmit(t *testing.T) {
+	for _, sh := range []string{"a", "b", "c", "d", "free"} {
+		out, err := capture(t, func() error {
+			return run(4, 8, 4, 9, 1, 0, false, false, false, false, false, sh)
+		})
+		if err != nil {
+			t.Fatalf("emit %s: %v", sh, err)
+		}
+		if !strings.Contains(out, "node code") {
+			t.Errorf("emit %s: no code emitted: %q", sh, out)
+		}
+	}
+	if _, err := capture(t, func() error {
+		return run(4, 8, 4, 9, 1, 0, false, false, false, false, false, "zz")
+	}); err == nil {
+		t.Error("unknown emit shape should fail")
+	}
+}
+
+func TestRunBasisFig(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(4, 8, 0, 9, 0, 320, false, false, true, false, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "( 36)") || !strings.Contains(out, "(261)") {
+		t.Errorf("basis figure missing endpoints:\n%s", out)
+	}
+}
+
+func TestRunInvalid(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run(0, 8, 0, 9, 0, 0, false, false, false, false, false, "")
+	}); err == nil {
+		t.Error("invalid parameters should fail")
+	}
+}

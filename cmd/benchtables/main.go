@@ -1,0 +1,69 @@
+// Command benchtables regenerates the paper's evaluation tables and
+// figure on the host machine:
+//
+//	benchtables -table 1              # Table 1 (lattice vs sorting)
+//	benchtables -figure 7             # Figure 7 series (s = 7)
+//	benchtables -table 2              # Table 2 (node code shapes)
+//	benchtables -all                  # everything
+//
+// Times are wall-clock microseconds on the current host; compare shapes
+// and ratios with the paper, not absolute values (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate Table 1 or 2")
+		figure = flag.Int("figure", 0, "regenerate Figure 7")
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		procs  = flag.Int64("p", 32, "processor count (the paper uses 32)")
+		reps   = flag.Int("reps", 5, "measurement repetitions (min of maxima kept)")
+		elems  = flag.Int64("elems", 10000, "assignments per processor for Table 2")
+	)
+	flag.Parse()
+	if err := run(*table, *figure, *all, *procs, *reps, *elems); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, all bool, procs int64, reps int, elems int64) error {
+	did := false
+	if all || table == 1 {
+		rows, err := bench.Table1(procs, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable1(rows))
+		fmt.Println()
+		did = true
+	}
+	if all || figure == 7 {
+		rows, err := bench.Figure7(procs, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFigure7(rows))
+		fmt.Println()
+		did = true
+	}
+	if all || table == 2 {
+		results, err := bench.Table2(procs, elems, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(results))
+		did = true
+	}
+	if !did {
+		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7 or -all")
+	}
+	return nil
+}

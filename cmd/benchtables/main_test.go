@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// The run paths are exercised with tiny workloads; absolute timings are
+// irrelevant here, only that every table renders without error.
+func TestRunTable1(t *testing.T) {
+	if err := run(1, 0, false, 2, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure7(t *testing.T) {
+	if err := run(0, 7, false, 2, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	if err := run(2, 0, false, 2, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	if err := run(0, 0, false, 2, 1, 100); err == nil {
+		t.Error("no selection should fail")
+	}
+}

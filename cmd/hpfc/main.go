@@ -1,0 +1,87 @@
+// Command hpfc interprets the miniature HPF-flavored array language of
+// internal/lang: distributed array declarations and section assignments
+// lowered onto the library's AM tables, communication sets and the
+// simulated machine.
+//
+//	hpfc script.hpf        # run a script file
+//	hpfc -                 # read the script from stdin
+//	hpfc -demo             # run the built-in demo script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lang"
+)
+
+const demoScript = `! the paper's running example, as a script
+processors P(4)
+array A(320) distribute cyclic(8) onto P
+array B(320) distribute cyclic(5) onto P
+
+A(0:319:1) = 0.0
+A(4:319:9) = 100.0
+table A(4:319:9) on 1
+print A(4:40:9)
+sum A(4:319:9)
+
+! cross-distribution section copy (planned communication sets)
+B(0:319:1) = 0.0
+B(0:70:2) = A(4:319:9)
+sum B(0:319:1)
+
+! change the block size mid-run
+redistribute A cyclic(16)
+sum A(4:319:9)
+
+! two-dimensional arrays on a processor grid
+processors Q(2,2)
+array M(8,12) distribute (cyclic(2),cyclic(3)) onto Q
+array N(12,8) distribute (cyclic(3),cyclic(2)) onto Q
+M(0:7, 0:11) = 1.0
+M(0:7:2, 0:11:3) = 5.0
+sum M(0:7, 0:11)
+N(0:11, 0:7) = transpose M(0:7, 0:11)
+sum N(0:11, 0:7)
+stats
+`
+
+func main() {
+	demo := flag.Bool("demo", false, "run the built-in demo script")
+	flag.Parse()
+	if err := run(*demo, flag.Args(), os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpfc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(demo bool, args []string, stdin io.Reader, stdout io.Writer) error {
+	var src string
+	switch {
+	case demo:
+		src = demoScript
+	case len(args) == 1 && args[0] == "-":
+		b, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return fmt.Errorf("usage: hpfc [-demo] [script.hpf | -]")
+	}
+	in := lang.New()
+	if err := in.Run(src); err != nil {
+		return err
+	}
+	_, err := io.WriteString(stdout, in.Output())
+	return err
+}

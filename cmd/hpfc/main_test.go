@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run(true, nil, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "AM = [3, 12, 15, 12, 3, 12, 3, 12]") {
+		t.Errorf("demo missing paper table:\n%s", got)
+	}
+	if !strings.Contains(got, "sum B(0:319:1) = 3600") {
+		t.Errorf("demo missing copy sum:\n%s", got)
+	}
+	// Redistribution must preserve the section sum.
+	if strings.Count(got, "sum A(4:319:9) = 3600") != 2 {
+		t.Errorf("demo sums before/after redistribute wrong:\n%s", got)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.hpf")
+	script := "processors P(2)\narray A(10) distribute cyclic(2) onto P\nA = 3.0\nsum A\n"
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(false, []string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sum A(0:9:1) = 30") {
+		t.Errorf("file run output wrong: %q", out.String())
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out strings.Builder
+	in := strings.NewReader("processors P(2)\narray A(4) distribute cyclic onto P\nA = 1.0\nsum A\n")
+	if err := run(false, []string{"-"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sum A(0:3:1) = 4") {
+		t.Errorf("stdin run output wrong: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, nil, nil, &strings.Builder{}); err == nil {
+		t.Error("no args should fail")
+	}
+	if err := run(false, []string{"/nonexistent/script.hpf"}, nil, &strings.Builder{}); err == nil {
+		t.Error("missing file should fail")
+	}
+	in := strings.NewReader("bogus\n")
+	if err := run(false, []string{"-"}, in, &strings.Builder{}); err == nil {
+		t.Error("bad script should fail")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(4, 8, 5, 320); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOtherShapes(t *testing.T) {
+	if err := run(3, 4, 7, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, 2, 3, 40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalid(t *testing.T) {
+	if err := run(0, 8, 5, 320); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if err := run(4, 0, 5, 320); err == nil {
+		t.Error("k=0 should fail")
+	}
+}

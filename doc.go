@@ -1,0 +1,18 @@
+// Package repro is a Go reproduction of Kennedy, Nedeljković & Sethi,
+// "A Linear-Time Algorithm for Computing the Memory Access Sequence in
+// Data-Parallel Programs" (PPOPP 1995).
+//
+// The library computes, for arrays distributed with HPF cyclic(k)
+// distributions, the cyclic sequence of local memory gaps (the AM table)
+// each processor follows when traversing a regular array section — in
+// O(k + min(log s, log p)) time via an integer-lattice basis. It includes
+// the sorting-based baseline it improves on, the restricted linear-time
+// predecessor, the node-code shapes that consume the tables, affine
+// alignment support, and a distributed-array runtime with communication
+// set generation running on a simulated multiprocessor.
+//
+// Start with internal/core (the algorithms), internal/dist (the
+// distributions) and examples/quickstart. DESIGN.md maps every paper
+// section, table and figure to the code that reproduces it; the root
+// bench_test.go regenerates the evaluation.
+package repro

@@ -1,0 +1,89 @@
+// Blockscatter: dense matrix–vector multiply on a block-scattered
+// (cyclic(k) × cyclic(k)) matrix — the use case the paper cites from
+// Dongarra, van de Geijn & Walker for why cyclic(k) matters in scalable
+// dense linear algebra (Section 1).
+//
+// The matrix A (n×n) is distributed over a 2×2 processor grid with
+// cyclic(2) distributions in both dimensions; the vectors x and y are
+// replicated. Each processor computes partial dot products over exactly
+// the (i, j) pairs it owns — enumerated through the distribution, never
+// through a global dense copy — and partial results are combined with a
+// reduction on the simulated machine.
+//
+//	go run ./examples/blockscatter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+)
+
+func main() {
+	const n = 12
+	grid := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 2))
+	a := hpf.MustNewArray2D(grid, n, n)
+
+	// A(i,j) = i + j/100; x(j) = j+1.
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			a.Set(i, j, float64(i)+float64(j)/100)
+		}
+	}
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = float64(j + 1)
+	}
+
+	// SPMD y = A·x: each processor sweeps its local matrix with its owned
+	// global indices, then row sums are combined pairwise across the grid.
+	m := machine.MustNew(int(grid.Procs()))
+	y := make([]float64, n)
+	m.Run(func(p *machine.Proc) {
+		rank := int64(p.Rank())
+		mem, _, cols := a.LocalMem(rank)
+		rowIdx, colIdx := a.LocalDomain(rank)
+
+		// Partial products: node loop over packed local storage.
+		partial := make([]float64, n)
+		for li, i := range rowIdx {
+			acc := 0.0
+			base := int64(li) * cols
+			for lj, j := range colIdx {
+				acc += mem[base+int64(lj)] * x[j]
+			}
+			partial[i] = acc
+		}
+		// Combine partials on processor 0 (sum is correct because each
+		// (i, j) pair lives on exactly one processor).
+		gathered := p.GatherSlices(partial, 0)
+		if p.Rank() == 0 {
+			for _, part := range gathered {
+				for i := range y {
+					y[i] += part[i]
+				}
+			}
+		}
+	})
+
+	// Verify against a sequential reference.
+	worst := 0.0
+	for i := int64(0); i < n; i++ {
+		want := 0.0
+		for j := int64(0); j < n; j++ {
+			want += a.Get(i, j) * x[j]
+		}
+		worst = math.Max(worst, math.Abs(want-y[i]))
+	}
+	fmt.Printf("y = A·x over a %d-proc block-scattered grid\n", grid.Procs())
+	fmt.Printf("y[0..3] = %.2f %.2f %.2f %.2f\n", y[0], y[1], y[2], y[3])
+	fmt.Printf("max |error| vs sequential reference: %g\n", worst)
+	if worst > 1e-9 {
+		log.Fatal("distributed result diverges from reference")
+	}
+	fmt.Println("verified: distributed matvec matches reference")
+}

@@ -1,0 +1,160 @@
+// CG: conjugate gradients on a cyclic(k)-distributed 1-D Poisson system,
+// the flagship pattern for the whole runtime working together:
+//
+//   - the tridiagonal matvec runs on LOCAL data only, using halo
+//     exchange for the block-boundary neighbors (Fortran D overlap
+//     areas, the paper's reference [10]);
+//   - dot products are machine AllReduce collectives;
+//   - vector updates are local sweeps over the packed cyclic(k) storage;
+//   - communication volume is reported from the machine's counters.
+//
+// Solves A·x = b with A = tridiag(-1, 2, -1) and a known solution, and
+// verifies the residual and the recovered x.
+//
+//	go run ./examples/cg
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/halo"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+)
+
+const (
+	procs = 4
+	k     = 8
+	n     = 256 // multiple of procs*k so halos cover whole blocks
+)
+
+// matvec computes y = A·p for the tridiagonal Poisson matrix, using one
+// halo exchange and then only local memory.
+func matvec(m *machine.Machine, y, p *hpf.Array) error {
+	h, err := halo.Exchange(m, p, 1, 0) // pad 0 = Dirichlet boundary
+	if err != nil {
+		return err
+	}
+	layout := p.Layout()
+	kk := layout.K()
+	for proc := int64(0); proc < layout.P(); proc++ {
+		src := p.LocalMem(proc)
+		dst := y.LocalMem(proc)
+		for row := int64(0); row < h.Rows(); row++ {
+			base := row * kk
+			for off := int64(0); off < kk; off++ {
+				var left, right float64
+				if off > 0 {
+					left = src[base+off-1]
+				} else {
+					left = h.Left(proc, row, 1)
+				}
+				if off < kk-1 {
+					right = src[base+off+1]
+				} else {
+					right = h.Right(proc, row, 1)
+				}
+				dst[base+off] = 2*src[base+off] - left - right
+			}
+		}
+	}
+	return nil
+}
+
+// dot computes x·y with per-processor partial sums combined by an
+// AllReduce on the machine.
+func dot(m *machine.Machine, x, y *hpf.Array) float64 {
+	var result float64
+	m.Run(func(proc *machine.Proc) {
+		me := int64(proc.Rank())
+		var part float64
+		xm, ym := x.LocalMem(me), y.LocalMem(me)
+		for i := range xm {
+			part += xm[i] * ym[i]
+		}
+		total := proc.AllReduce(part, machine.Sum)
+		if proc.Rank() == 0 {
+			result = total
+		}
+	})
+	return result
+}
+
+// axpy computes y += alpha*x on local memories.
+func axpy(alpha float64, x, y *hpf.Array) {
+	for proc := int64(0); proc < x.Layout().P(); proc++ {
+		xm, ym := x.LocalMem(proc), y.LocalMem(proc)
+		for i := range xm {
+			ym[i] += alpha * xm[i]
+		}
+	}
+}
+
+// xpay computes p = r + beta*p on local memories.
+func xpay(r, p *hpf.Array, beta float64) {
+	for proc := int64(0); proc < r.Layout().P(); proc++ {
+		rm, pm := r.LocalMem(proc), p.LocalMem(proc)
+		for i := range rm {
+			pm[i] = rm[i] + beta*pm[i]
+		}
+	}
+}
+
+func main() {
+	layout := dist.MustNew(procs, k)
+	m := machine.MustNew(procs)
+
+	// Manufactured solution exciting many eigenmodes (a single sine mode
+	// would be an eigenvector and converge in one step).
+	xstar := hpf.MustNewArray(layout, n)
+	for i := int64(0); i < n; i++ {
+		t := float64(i+1) / float64(n+1)
+		xstar.Set(i, t*(1-t)*math.Exp(2*t)+0.3*math.Sin(13*math.Pi*t))
+	}
+	b := hpf.MustNewArray(layout, n)
+	if err := matvec(m, b, xstar); err != nil {
+		log.Fatal(err)
+	}
+
+	// CG with x0 = 0: r = b, p = r.
+	x := hpf.MustNewArray(layout, n)
+	r := hpf.MustNewArray(layout, n)
+	p := hpf.MustNewArray(layout, n)
+	ap := hpf.MustNewArray(layout, n)
+	for proc := int64(0); proc < procs; proc++ {
+		copy(r.LocalMem(proc), b.LocalMem(proc))
+		copy(p.LocalMem(proc), b.LocalMem(proc))
+	}
+
+	rr := dot(m, r, r)
+	iters := 0
+	for ; iters < n && math.Sqrt(rr) > 1e-10; iters++ {
+		if err := matvec(m, ap, p); err != nil {
+			log.Fatal(err)
+		}
+		alpha := rr / dot(m, p, ap)
+		axpy(alpha, p, x)
+		axpy(-alpha, ap, r)
+		rrNew := dot(m, r, r)
+		xpay(r, p, rrNew/rr)
+		rr = rrNew
+	}
+
+	worst := 0.0
+	for i := int64(0); i < n; i++ {
+		worst = math.Max(worst, math.Abs(x.Get(i)-xstar.Get(i)))
+	}
+	stats := m.TotalStats()
+	fmt.Printf("CG on %d unknowns over %v\n", n, layout)
+	fmt.Printf("converged in %d iterations, ||r|| = %.2e\n", iters, math.Sqrt(rr))
+	fmt.Printf("max |x - x*| = %.2e\n", worst)
+	fmt.Printf("communication: %d messages, %d values exchanged\n",
+		stats.MessagesSent, stats.ValuesSent)
+	if worst > 1e-8 {
+		log.Fatal("CG failed to recover the solution")
+	}
+	fmt.Println("verified: distributed CG recovers the manufactured solution")
+}

@@ -1,0 +1,122 @@
+// Stencil: a strided red/black relaxation over a cyclic(k)-distributed
+// array, exercising every node-code shape of the paper's Figure 8 on the
+// same workload and checking they agree.
+//
+// Red/black Gauss–Seidel sweeps update the odd-indexed ("red") and
+// even-indexed ("black") elements alternately — regular sections with
+// stride 2, exactly the access pattern the AM table exists for. Each
+// shape runs the identical red-section assignment on identical data; the
+// example verifies all five produce bit-identical arrays and reports a
+// rough timing comparison (Table 2's experiment in miniature).
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/section"
+)
+
+const (
+	procs = 4
+	k     = 8
+	n     = 4096
+)
+
+// sweepShape runs A(red) = 1 on a fresh array using one code shape and
+// returns the resulting dense contents.
+func sweepShape(shape string) ([]float64, time.Duration, error) {
+	layout := dist.MustNew(procs, k)
+	a := hpf.MustNewArray(layout, n)
+	red := section.MustNew(1, n-1, 2)
+
+	start := time.Now()
+	for m := int64(0); m < procs; m++ {
+		pr := core.Problem{P: procs, K: k, L: red.Lo, S: red.Stride, M: m}
+		u := red.Last()
+		count, err := pr.Count(u)
+		if err != nil {
+			return nil, 0, err
+		}
+		if count == 0 {
+			continue
+		}
+		seq, err := core.Lattice(pr)
+		if err != nil {
+			return nil, 0, err
+		}
+		lastGlobal, err := pr.Last(u)
+		if err != nil {
+			return nil, 0, err
+		}
+		mem := a.LocalMem(m)
+		first := seq.StartLocal
+		last := layout.Local(lastGlobal)
+
+		var wrote int64
+		switch shape {
+		case "8(a)":
+			wrote = codegen.ShapeA(mem, first, last, seq.Gaps, 1)
+		case "8(b)":
+			wrote = codegen.ShapeB(mem, first, last, seq.Gaps, 1)
+		case "8(c)":
+			wrote = codegen.ShapeC(mem, first, last, seq.Gaps, 1)
+		case "8(d)":
+			tab, err := core.OffsetTables(pr)
+			if err != nil {
+				return nil, 0, err
+			}
+			wrote = codegen.ShapeD(mem, first, last, tab, 1)
+		case "walker":
+			w, ok, err := core.NewWalker(pr)
+			if err != nil || !ok {
+				return nil, 0, fmt.Errorf("walker unavailable: %v", err)
+			}
+			wrote = codegen.ShapeWalker(mem, last, w, 1)
+		default:
+			return nil, 0, fmt.Errorf("unknown shape %q", shape)
+		}
+		if wrote != count {
+			return nil, 0, fmt.Errorf("shape %s wrote %d of %d on proc %d", shape, wrote, count, m)
+		}
+	}
+	return a.Gather(), time.Since(start), nil
+}
+
+func main() {
+	shapes := []string{"8(a)", "8(b)", "8(c)", "8(d)", "walker"}
+	var reference []float64
+	fmt.Printf("red sweep A(1:%d:2) = 1 over cyclic(%d) × %d procs, n = %d\n\n", n-1, k, procs, n)
+	for _, sh := range shapes {
+		got, el, err := sweepShape(sh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if reference == nil {
+			reference = got
+		} else if !reflect.DeepEqual(got, reference) {
+			log.Fatalf("shape %s produced different contents", sh)
+		}
+		fmt.Printf("  shape %-7s %8v (tables + sweep)\n", sh, el)
+	}
+
+	// Sanity: red elements are 1, black untouched.
+	for i := int64(0); i < n; i++ {
+		want := 0.0
+		if i%2 == 1 {
+			want = 1
+		}
+		if reference[i] != want {
+			log.Fatalf("element %d = %v, want %v", i, reference[i], want)
+		}
+	}
+	fmt.Println("\nverified: all five shapes write exactly the red section")
+}

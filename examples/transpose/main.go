@@ -1,0 +1,88 @@
+// Transpose: distributed matrix transposition between block-scattered
+// layouts — the all-to-all-heaviest primitive in dense linear algebra and
+// FFTs, built entirely from per-dimension progression intersections.
+//
+// A is 48×32 on a 2×2 grid with cyclic(3)×cyclic(2) distribution; B is
+// 32×48 on a different (3×2, cyclic(4)×cyclic(5)) grid. B = Aᵀ moves
+// every element to a new owner; the plan derives each processor pair's
+// transfer set in closed form (no element scanning), and the SPMD
+// execution is verified elementwise.
+//
+//	go run ./examples/transpose
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+	"repro/internal/section"
+)
+
+func main() {
+	const n0, n1 = 48, 32
+	gridA := dist.MustNewGrid(dist.MustNew(2, 3), dist.MustNew(2, 2))
+	gridB := dist.MustNewGrid(dist.MustNew(3, 4), dist.MustNew(2, 5))
+
+	a := hpf.MustNewArray2D(gridA, n0, n1)
+	b := hpf.MustNewArray2D(gridB, n1, n0)
+	for i := int64(0); i < n0; i++ {
+		for j := int64(0); j < n1; j++ {
+			a.Set(i, j, float64(i)+float64(j)/100)
+		}
+	}
+
+	rectA, err := section.NewRect(
+		section.Section{Lo: 0, Hi: n0 - 1, Stride: 1},
+		section.Section{Lo: 0, Hi: n1 - 1, Stride: 1},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rectB, err := section.NewRect(
+		section.Section{Lo: 0, Hi: n1 - 1, Stride: 1},
+		section.Section{Lo: 0, Hi: n0 - 1, Stride: 1},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	procs := max(gridA.Procs(), gridB.Procs())
+	m := machine.MustNew(int(procs))
+	if err := comm.Transpose2D(m, b, rectB, a, rectA); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify B == A^T elementwise.
+	for i := int64(0); i < n0; i++ {
+		for j := int64(0); j < n1; j++ {
+			if b.Get(j, i) != a.Get(i, j) {
+				log.Fatalf("B(%d,%d) = %v != A(%d,%d) = %v",
+					j, i, b.Get(j, i), i, j, a.Get(i, j))
+			}
+		}
+	}
+	fmt.Printf("B = A^T: %dx%d on %v×%v grid -> %dx%d on %v×%v grid\n",
+		n0, n1, gridA.Dim(0), gridA.Dim(1), n1, n0, gridB.Dim(0), gridB.Dim(1))
+	fmt.Printf("%d elements moved across %d processors\n", n0*n1, procs)
+	fmt.Println("verified: distributed transpose matches elementwise")
+
+	// Strided sub-transpose: B(0:15:1, 0:30:2) = transpose(A(0:30:2, 0:15:1)).
+	subB, _ := section.NewRect(section.MustNew(0, 15, 1), section.MustNew(0, 30, 2))
+	subA, _ := section.NewRect(section.MustNew(0, 30, 2), section.MustNew(0, 15, 1))
+	if err := comm.Transpose2D(m, b, subB, a, subA); err != nil {
+		log.Fatal(err)
+	}
+	for t0 := int64(0); t0 < 16; t0++ {
+		for t1 := int64(0); t1 < 16; t1++ {
+			want := a.Get(subA[0].Element(t1), subA[1].Element(t0))
+			if got := b.Get(subB[0].Element(t0), subB[1].Element(t1)); got != want {
+				log.Fatalf("strided sub-transpose wrong at (%d,%d)", t0, t1)
+			}
+		}
+	}
+	fmt.Println("verified: strided sub-transpose matches elementwise")
+}

@@ -1,0 +1,237 @@
+// Package align handles HPF affine alignments between arrays and
+// distributed templates.
+//
+// HPF aligns array element i to template cell a·i + b for arbitrary a ≠ 0
+// and b (paper, Section 2). The template is what gets distributed, so the
+// owner of A(i) is the owner of cell a·i + b, and a processor's packed
+// local storage holds its owned array elements in increasing array-index
+// order.
+//
+// Address generation for a section of an aligned array is solved "by two
+// applications of the access sequence computation algorithm for the
+// identity alignment" (Section 2): one application with stride a·s
+// enumerates the section positions owned by each processor, and one with
+// stride a ranks the touched elements within the processor's packed
+// storage. Map composes the two.
+package align
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/intmath"
+)
+
+// Alignment is the affine map i ↦ A·i + B from array index space to
+// template cell space. A must be nonzero; A = 1, B = 0 is the identity
+// alignment.
+type Alignment struct {
+	A, B int64
+}
+
+// Identity is the identity alignment.
+var Identity = Alignment{A: 1, B: 0}
+
+// Cell returns the template cell of array element i.
+func (al Alignment) Cell(i int64) int64 { return al.A*i + al.B }
+
+// String implements fmt.Stringer.
+func (al Alignment) String() string {
+	return fmt.Sprintf("i ↦ %d·i%+d", al.A, al.B)
+}
+
+// Map binds an alignment to a distributed template layout.
+type Map struct {
+	Layout dist.Layout
+	Align  Alignment
+}
+
+// NewMap validates and builds an alignment map.
+func NewMap(layout dist.Layout, al Alignment) (*Map, error) {
+	if al.A == 0 {
+		return nil, fmt.Errorf("align: alignment stride a = 0")
+	}
+	if _, err := intmath.MulChecked(intmath.Abs(al.A)+intmath.Abs(al.B)+1,
+		layout.RowLen()); err != nil {
+		return nil, fmt.Errorf("align: alignment too large for layout: %v", err)
+	}
+	return &Map{Layout: layout, Align: al}, nil
+}
+
+// Owner returns the processor owning array element i.
+func (m *Map) Owner(i int64) int64 {
+	return m.Layout.Owner(m.Align.Cell(i))
+}
+
+// Storage provides O(log k) rank queries into a processor's packed local
+// storage for an aligned array. Build one per (map, processor) with
+// NewStorage and reuse it across queries.
+//
+// Owned array indices form a periodic set: period pk/gcd(|a|, pk) in
+// array-index space with at most k owned residues per period (the
+// "second application" of the identity algorithm, with stride a).
+type Storage struct {
+	m        *Map
+	proc     int64
+	period   int64
+	residues []int64 // sorted owned residues mod period
+}
+
+// NewStorage precomputes the owned-index cycle for the processor.
+func (m *Map) NewStorage(proc int64) (*Storage, error) {
+	if proc < 0 || proc >= m.Layout.P() {
+		return nil, fmt.Errorf("align: processor %d outside [0, %d)", proc, m.Layout.P())
+	}
+	pk := m.Layout.RowLen()
+	k := m.Layout.K()
+	d := intmath.GCD(m.Align.A, pk)
+	period := pk / d
+	lo, hi := proc*k, (proc+1)*k
+	var residues []int64
+	// Owned residues r in [0, period) satisfy (A·r + B) mod pk in [lo, hi):
+	// solve A·r ≡ c − B (mod pk) for each cell offset c in the block.
+	for c := lo; c < hi; c++ {
+		if r, ok := intmath.SolveCongruence(m.Align.A, c-m.Align.B, pk); ok {
+			residues = append(residues, r)
+		}
+	}
+	sort.Slice(residues, func(i, j int) bool { return residues[i] < residues[j] })
+	return &Storage{m: m, proc: proc, period: period, residues: residues}, nil
+}
+
+// PerCycle returns the number of owned array elements per period.
+func (s *Storage) PerCycle() int64 { return int64(len(s.residues)) }
+
+// Period returns the owned-index period in array-index space.
+func (s *Storage) Period() int64 { return s.period }
+
+// Rank returns the number of owned array indices in [0, i) — the packed
+// local storage address of element i when i itself is owned and i ≥ 0.
+func (s *Storage) Rank(i int64) int64 {
+	if len(s.residues) == 0 {
+		return 0
+	}
+	q := intmath.FloorDiv(i, s.period)
+	r := intmath.FloorMod(i, s.period)
+	below := sort.Search(len(s.residues), func(t int) bool {
+		return s.residues[t] >= r
+	})
+	return q*int64(len(s.residues)) + int64(below)
+}
+
+// Owns reports whether the processor owns array element i.
+func (s *Storage) Owns(i int64) bool {
+	return s.m.Owner(i) == s.proc
+}
+
+// LocalCount returns the number of array elements in [0, n) owned by the
+// processor — its packed storage size for an n-element array.
+func (s *Storage) LocalCount(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return s.Rank(n)
+}
+
+// Sequence is the access pattern of a (possibly unbounded) section of an
+// aligned array on one processor. The owned section positions j (with
+// element index l + j·s) repeat with period PeriodJ: position number t is
+//
+//	JS[t mod len(JS)] + (t div len(JS))·PeriodJ,
+//
+// and the packed-storage gap from owned position t to t+1 is
+// Gaps[t mod len(Gaps)].
+type Sequence struct {
+	JS        []int64 // sorted owned section positions within one period
+	PeriodJ   int64   // section positions per access cycle
+	StartAddr int64   // packed-storage address of the first owned element
+	Gaps      []int64 // cyclic storage gaps, len(Gaps) == len(JS)
+}
+
+// Empty reports whether the processor owns no section elements.
+func (sq Sequence) Empty() bool { return len(sq.JS) == 0 }
+
+// Position returns the section position of the t-th owned element.
+func (sq Sequence) Position(t int64) int64 {
+	n := int64(len(sq.JS))
+	return sq.JS[t%n] + (t/n)*sq.PeriodJ
+}
+
+// Access computes the access sequence for the section l:·:s (s ≠ 0; the
+// upper bound does not affect the cyclic pattern — see Addresses). This is
+// the composition of the two identity-alignment applications described in
+// the package comment.
+func (m *Map) Access(proc, l, s int64) (Sequence, error) {
+	if s == 0 {
+		return Sequence{}, fmt.Errorf("align: zero section stride")
+	}
+	st, err := m.NewStorage(proc)
+	if err != nil {
+		return Sequence{}, err
+	}
+	pk := m.Layout.RowLen()
+	k := m.Layout.K()
+	// First application: template cells c_j = A·(l + j·s) + B = c0 + j·s1.
+	c0 := m.Align.Cell(l)
+	s1 := m.Align.A * s
+	d1 := intmath.GCD(s1, pk)
+	period1 := pk / d1
+	lo, hi := proc*k, (proc+1)*k
+	var js []int64
+	for c := lo; c < hi; c++ {
+		if j, ok := intmath.SolveCongruence(s1, c-c0, pk); ok {
+			js = append(js, j)
+		}
+	}
+	if len(js) == 0 {
+		return Sequence{PeriodJ: period1}, nil
+	}
+	sort.Slice(js, func(a, b int) bool { return js[a] < js[b] })
+	// Second application: rank each accessed element in packed storage.
+	addr := func(j int64) int64 { return st.Rank(l + j*s) }
+	gaps := make([]int64, len(js))
+	for t := 0; t+1 < len(js); t++ {
+		gaps[t] = addr(js[t+1]) - addr(js[t])
+	}
+	gaps[len(js)-1] = addr(js[0]+period1) - addr(js[len(js)-1])
+	return Sequence{
+		JS:        js,
+		PeriodJ:   period1,
+		StartAddr: addr(js[0]),
+		Gaps:      gaps,
+	}, nil
+}
+
+// Addresses returns the packed-storage addresses of every owned element of
+// the bounded section l:u:s (inclusive upper bound; s > 0 ascends, s < 0
+// descends), in section-traversal order.
+func (m *Map) Addresses(proc, l, u, s int64) ([]int64, error) {
+	sq, err := m.Access(proc, l, s)
+	if err != nil {
+		return nil, err
+	}
+	if sq.Empty() {
+		return nil, nil
+	}
+	var n int64 // section length in positions
+	switch {
+	case s > 0 && u >= l:
+		n = (u-l)/s + 1
+	case s < 0 && u <= l:
+		n = (l-u)/(-s) + 1
+	default:
+		return nil, nil
+	}
+	var out []int64
+	addr := sq.StartAddr
+	for t := int64(0); ; t++ {
+		j := sq.Position(t)
+		if j >= n {
+			break
+		}
+		out = append(out, addr)
+		addr += sq.Gaps[t%int64(len(sq.Gaps))]
+	}
+	return out, nil
+}

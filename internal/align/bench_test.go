@@ -1,0 +1,35 @@
+package align
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// BenchmarkAccess measures the two-application composition for an aligned
+// section's gap table.
+func BenchmarkAccess(b *testing.B) {
+	m, err := NewMap(dist.MustNew(32, 64), Alignment{A: 3, B: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Access(5, 11, 13); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRank measures one packed-storage rank query.
+func BenchmarkRank(b *testing.B) {
+	m, _ := NewMap(dist.MustNew(32, 64), Alignment{A: 3, B: 7})
+	st, err := m.NewStorage(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Rank(int64(i) * 31)
+	}
+}

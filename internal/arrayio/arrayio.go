@@ -1,0 +1,113 @@
+// Package arrayio serializes distributed arrays for checkpoint/restore
+// and out-of-band exchange. The format preserves the distribution, so a
+// restored array has identical layout and per-processor local memories —
+// a restart does not redistribute.
+//
+// Format (little-endian):
+//
+//	magic   [8]byte  "HPFARR\x00\x01"
+//	n       int64    global length
+//	p, k    int64    distribution parameters
+//	data    n×float64, per processor in rank order, each processor's
+//	        packed local memory in local-address order
+package arrayio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+)
+
+// maxProcs bounds the processor count a file may declare; it guards the
+// reader against corrupt headers demanding absurd allocations.
+const maxProcs = 1 << 20
+
+var magic = [8]byte{'H', 'P', 'F', 'A', 'R', 'R', 0, 1}
+
+// Write serializes the array to w.
+func Write(w io.Writer, a *hpf.Array) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []int64{a.N(), a.Layout().P(), a.Layout().K()}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for m := int64(0); m < a.Layout().P(); m++ {
+		if err := binary.Write(bw, binary.LittleEndian, a.LocalMem(m)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes an array from r, reconstructing its layout and local
+// memories.
+func Read(r io.Reader) (*hpf.Array, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("arrayio: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("arrayio: bad magic %q", got[:])
+	}
+	var n, p, k int64
+	for _, dst := range []*int64{&n, &p, &k} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("arrayio: reading header: %w", err)
+		}
+	}
+	layout, err := dist.New(p, k)
+	if err != nil {
+		return nil, fmt.Errorf("arrayio: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("arrayio: negative array length %d", n)
+	}
+	if p > maxProcs {
+		return nil, fmt.Errorf("arrayio: processor count %d exceeds format limit %d", p, maxProcs)
+	}
+	// Read the payload BEFORE allocating the (possibly huge) array, in
+	// bounded chunks, so a corrupt header claiming petabytes fails as soon
+	// as the stream runs dry instead of attempting the allocation.
+	locals := make([][]float64, p)
+	for m := int64(0); m < p; m++ {
+		data, err := readFloats(br, layout.LocalCount(m, n))
+		if err != nil {
+			return nil, fmt.Errorf("arrayio: reading processor %d data: %w", m, err)
+		}
+		locals[m] = data
+	}
+	a, err := hpf.NewArray(layout, n)
+	if err != nil {
+		return nil, fmt.Errorf("arrayio: %w", err)
+	}
+	for m := int64(0); m < p; m++ {
+		copy(a.LocalMem(m), locals[m])
+	}
+	return a, nil
+}
+
+// readFloats reads count float64s in bounded chunks, growing the result
+// only as data actually arrives.
+func readFloats(r io.Reader, count int64) ([]float64, error) {
+	const chunk = 8192
+	out := make([]float64, 0, min(count, chunk))
+	for int64(len(out)) < count {
+		want := min(count-int64(len(out)), chunk)
+		buf := make([]float64, want)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}

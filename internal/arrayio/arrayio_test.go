@@ -1,0 +1,112 @@
+package arrayio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+)
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 50; trial++ {
+		p := r.Int63n(6) + 1
+		k := r.Int63n(9) + 1
+		n := r.Int63n(500)
+		a := hpf.MustNewArray(dist.MustNew(p, k), n)
+		for i := int64(0); i < n; i++ {
+			a.Set(i, r.NormFloat64())
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.N() != n || b.Layout() != a.Layout() {
+			t.Fatalf("metadata changed: n=%d layout=%v", b.N(), b.Layout())
+		}
+		if !reflect.DeepEqual(a.Gather(), b.Gather()) {
+			t.Fatal("contents changed")
+		}
+		// Local memories must match exactly (no redistribution happened).
+		for m := int64(0); m < p; m++ {
+			if !reflect.DeepEqual(a.LocalMem(m), b.LocalMem(m)) {
+				t.Fatalf("proc %d local memory changed", m)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read(bytes.NewReader([]byte("NOTMAGIC11111111"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated after magic.
+	if _, err := Read(bytes.NewReader(magic[:])); err == nil {
+		t.Error("truncated header should fail")
+	}
+	// Valid header but truncated data.
+	a := hpf.MustNewArray(dist.MustNew(2, 3), 50)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated data should fail")
+	}
+	// Corrupt header: negative p.
+	bad := append([]byte(nil), buf.Bytes()...)
+	// p is the second int64 after magic: offset 8+8.
+	for i := 0; i < 8; i++ {
+		bad[16+i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt layout should fail")
+	}
+}
+
+func TestWriteToFailingWriter(t *testing.T) {
+	a := hpf.MustNewArray(dist.MustNew(2, 2), 100)
+	if err := Write(failWriter{}, a); err == nil {
+		t.Error("failing writer should propagate the error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// FuzzRead feeds arbitrary bytes to the deserializer: corrupt input must
+// produce errors, never panics or absurd allocations.
+func FuzzRead(f *testing.F) {
+	a := hpf.MustNewArray(dist.MustNew(2, 3), 30)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Read panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		arr, err := Read(bytes.NewReader(data))
+		if err == nil && arr == nil {
+			t.Fatal("nil array with nil error")
+		}
+	})
+}

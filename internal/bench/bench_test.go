@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConstructMethods(t *testing.T) {
+	pr := coreProblem(4, 8, 9, 1)
+	lat, err := construct(MethodLattice, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srt, err := construct(MethodSorting, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lat.Equal(srt) {
+		t.Error("methods disagree")
+	}
+	if _, err := construct(Method("bogus"), pr); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	if ks := Table1Ks(); ks[0] != 4 || ks[len(ks)-1] != 512 || len(ks) != 8 {
+		t.Errorf("Table1Ks = %v", ks)
+	}
+	strides := Table1Strides()
+	if len(strides) != 5 {
+		t.Fatalf("want 5 stride cases, got %d", len(strides))
+	}
+	// The k- and pk-dependent strides evaluate correctly.
+	if s := strides[2].Stride(8, 256); s != 9 {
+		t.Errorf("s=k+1 for k=8: %d", s)
+	}
+	if s := strides[3].Stride(8, 256); s != 255 {
+		t.Errorf("s=pk-1: %d", s)
+	}
+	if s := strides[4].Stride(8, 256); s != 257 {
+		t.Errorf("s=pk+1: %d", s)
+	}
+}
+
+// TestTable1Small runs a miniature Table 1 (fewer processors, one rep) to
+// exercise the full pipeline without taking benchmark-scale time.
+func TestTable1Small(t *testing.T) {
+	rows, err := Table1(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table1Ks()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Cells) != 5 {
+			t.Fatalf("row k=%d has %d cells", r.K, len(r.Cells))
+		}
+		for _, c := range r.Cells {
+			if c.Lattice <= 0 || c.Sorting <= 0 {
+				t.Errorf("k=%d %s: nonpositive times %v/%v", r.K, c.Stride, c.Lattice, c.Sorting)
+			}
+		}
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"k=4", "k=512", "s=pk+1", "Lattice", "Sorting"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure7Small(t *testing.T) {
+	rows, err := Figure7(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	out := FormatFigure7(rows)
+	if !strings.Contains(out, "ratio") || !strings.Contains(out, "s=7") {
+		t.Errorf("FormatFigure7 output:\n%s", out)
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	results, err := Table2(4, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("got %d cases", len(results))
+	}
+	for _, r := range results {
+		for _, sh := range Shapes() {
+			if r.Times[sh] <= 0 {
+				t.Errorf("case %+v shape %s: time %v", r.Case, sh, r.Times[sh])
+			}
+		}
+	}
+	out := FormatTable2(results)
+	for _, want := range []string{"k=4", "k=256", "s=99", "8(a) mod", "walker"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildWorkloadCounts(t *testing.T) {
+	w, err := BuildWorkload(4, 8, 9, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range Shapes() {
+		n, err := w.RunShape(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 100 {
+			t.Errorf("shape %s wrote %d, want 100", sh, n)
+		}
+	}
+	if _, err := w.RunShape(Shape("bogus")); err == nil {
+		t.Error("unknown shape should fail")
+	}
+	// A processor that owns nothing is an error for workload building.
+	if _, err := BuildWorkload(4, 2, 8, 1, 10); err == nil {
+		t.Error("empty processor should fail")
+	}
+}
+
+func TestTimeMaxOverProcsPositive(t *testing.T) {
+	d, err := timeMaxOverProcs(MethodLattice, 4, 16, 0, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > time.Second {
+		t.Errorf("implausible duration %v", d)
+	}
+}
+
+// coreProblem is shorthand for building test problems.
+func coreProblem(p, k, s, m int64) core.Problem {
+	return core.Problem{P: p, K: k, L: 0, S: s, M: m}
+}

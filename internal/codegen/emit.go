@@ -1,0 +1,157 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// EmitShape selects which Figure 8 template EmitC renders.
+type EmitShape int
+
+// The four paper shapes.
+const (
+	EmitA  EmitShape = iota // Figure 8(a): mod
+	EmitB                   // Figure 8(b): test and reset
+	EmitC_                  // Figure 8(c): for / goto
+	EmitD                   // Figure 8(d): offset-indexed two-table
+)
+
+func (s EmitShape) String() string {
+	switch s {
+	case EmitA:
+		return "8(a)"
+	case EmitB:
+		return "8(b)"
+	case EmitC_:
+		return "8(c)"
+	case EmitD:
+		return "8(d)"
+	}
+	return fmt.Sprintf("EmitShape(%d)", int(s))
+}
+
+// EmitC generates the C node code of the requested Figure 8 shape for a
+// concrete problem, with the AM table compiled in as an initialized
+// array — what an HPF compiler would emit when p, k, l and s are
+// compile-time constants (Section 6.1: "the compiler could compute the
+// table of memory gaps for each processor"). The emitted fragment
+// performs A(l:u:s) = value on the local array `a`; `startmem` and
+// `lastmem` are the local addresses of the processor's first and last
+// owned elements.
+//
+// Processors that own no section elements get an empty (comment-only)
+// fragment.
+func EmitCCode(shape EmitShape, pr core.Problem, value string) (string, error) {
+	seq, err := core.Lattice(pr)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* %s node code: p=%d k=%d l=%d s=%d, processor %d */\n",
+		shape, pr.P, pr.K, pr.L, pr.S, pr.M)
+	if seq.Empty() {
+		b.WriteString("/* this processor owns no section elements */\n")
+		return b.String(), nil
+	}
+
+	if shape == EmitD {
+		tab, err := core.OffsetTables(pr)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "static const long deltaM[%d] = {%s};\n",
+			pr.K, joinInts(tab.Delta))
+		fmt.Fprintf(&b, "static const long nextoffset[%d] = {%s};\n",
+			pr.K, joinInts(tab.NextOffset))
+		fmt.Fprintf(&b, "long base = startmem;\nlong i = %d; /* startoffset */\n", tab.Start)
+		fmt.Fprintf(&b, "while (base <= lastmem) {\n")
+		fmt.Fprintf(&b, "    a[base] = %s;\n", value)
+		fmt.Fprintf(&b, "    base += deltaM[i];\n")
+		fmt.Fprintf(&b, "    i = nextoffset[i];\n")
+		fmt.Fprintf(&b, "}\n")
+		return b.String(), nil
+	}
+
+	fmt.Fprintf(&b, "static const long deltaM[%d] = {%s};\n",
+		len(seq.Gaps), joinInts(seq.Gaps))
+	fmt.Fprintf(&b, "long base = startmem;\nlong i = 0;\n")
+	switch shape {
+	case EmitA:
+		fmt.Fprintf(&b, "while (base <= lastmem) {\n")
+		fmt.Fprintf(&b, "    a[base] = %s;\n", value)
+		fmt.Fprintf(&b, "    base += deltaM[i];\n")
+		fmt.Fprintf(&b, "    i = (i + 1) %% %d;\n", len(seq.Gaps))
+		fmt.Fprintf(&b, "}\n")
+	case EmitB:
+		fmt.Fprintf(&b, "while (base <= lastmem) {\n")
+		fmt.Fprintf(&b, "    a[base] = %s;\n", value)
+		fmt.Fprintf(&b, "    base += deltaM[i++];\n")
+		fmt.Fprintf(&b, "    if (i == %d) i = 0;\n", len(seq.Gaps))
+		fmt.Fprintf(&b, "}\n")
+	case EmitC_:
+		fmt.Fprintf(&b, "while (1) {\n")
+		fmt.Fprintf(&b, "    for (i = 0; i < %d; i++) {\n", len(seq.Gaps))
+		fmt.Fprintf(&b, "        a[base] = %s;\n", value)
+		fmt.Fprintf(&b, "        base += deltaM[i];\n")
+		fmt.Fprintf(&b, "        if (base > lastmem) goto done;\n")
+		fmt.Fprintf(&b, "    }\n")
+		fmt.Fprintf(&b, "}\ndone:;\n")
+	default:
+		return "", fmt.Errorf("codegen: unknown shape %v", shape)
+	}
+	return b.String(), nil
+}
+
+// EmitTableFree generates the table-free node code of Section 6.2
+// (reference [12]): no arrays, just the R/L basis constants and the two
+// Theorem 3 tests, mirroring lines 35 and 44 of Figure 5.
+func EmitTableFree(pr core.Problem, value string) (string, error) {
+	seq, err := core.Lattice(pr)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* table-free node code: p=%d k=%d l=%d s=%d, processor %d */\n",
+		pr.P, pr.K, pr.L, pr.S, pr.M)
+	if seq.Empty() {
+		b.WriteString("/* this processor owns no section elements */\n")
+		return b.String(), nil
+	}
+	if len(seq.Gaps) == 1 {
+		fmt.Fprintf(&b, "long base = startmem;\n")
+		fmt.Fprintf(&b, "while (base <= lastmem) {\n")
+		fmt.Fprintf(&b, "    a[base] = %s;\n", value)
+		fmt.Fprintf(&b, "    base += %d;\n", seq.Gaps[0])
+		fmt.Fprintf(&b, "}\n")
+		return b.String(), nil
+	}
+	basis, ok, err := core.Vectors(pr.P, pr.K, pr.S)
+	if err != nil || !ok {
+		return "", fmt.Errorf("codegen: basis unavailable: %v", err)
+	}
+	lo, hi := pr.K*pr.M, pr.K*(pr.M+1)
+	fmt.Fprintf(&b, "long base = startmem;\n")
+	fmt.Fprintf(&b, "long offset = %d; /* start mod pk */\n", seq.Start%(pr.P*pr.K))
+	fmt.Fprintf(&b, "while (base <= lastmem) {\n")
+	fmt.Fprintf(&b, "    a[base] = %s;\n", value)
+	fmt.Fprintf(&b, "    if (offset + %d < %d) {          /* Equation 1 */\n", basis.R.B, hi)
+	fmt.Fprintf(&b, "        base += %d; offset += %d;\n", basis.GapR, basis.R.B)
+	fmt.Fprintf(&b, "    } else {\n")
+	fmt.Fprintf(&b, "        base += %d; offset -= %d;    /* Equation 2 */\n", basis.GapL, basis.L.B)
+	fmt.Fprintf(&b, "        if (offset < %d) {           /* Equation 3 */\n", lo)
+	fmt.Fprintf(&b, "            base += %d; offset += %d;\n", basis.GapR, basis.R.B)
+	fmt.Fprintf(&b, "        }\n")
+	fmt.Fprintf(&b, "    }\n")
+	fmt.Fprintf(&b, "}\n")
+	return b.String(), nil
+}
+
+func joinInts(vals []int64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,235 @@
+package codegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var emitProblem = core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1}
+
+func TestEmitCCodeShapeB(t *testing.T) {
+	out, err := EmitCCode(EmitB, emitProblem, "100.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compiled-in AM table is the paper's.
+	if !strings.Contains(out, "{3, 12, 15, 12, 3, 12, 3, 12}") {
+		t.Errorf("AM table missing:\n%s", out)
+	}
+	for _, want := range []string{
+		"a[base] = 100.0;",
+		"base += deltaM[i++];",
+		"if (i == 8) i = 0;",
+		"while (base <= lastmem)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitCCodeShapeA(t *testing.T) {
+	out, err := EmitCCode(EmitA, emitProblem, "0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "i = (i + 1) % 8;") {
+		t.Errorf("mod advance missing:\n%s", out)
+	}
+}
+
+func TestEmitCCodeShapeC(t *testing.T) {
+	out, err := EmitCCode(EmitC_, emitProblem, "0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"for (i = 0; i < 8; i++)", "goto done;", "done:;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitCCodeShapeD(t *testing.T) {
+	out, err := EmitCCode(EmitD, emitProblem, "0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"static const long deltaM[8]",
+		"static const long nextoffset[8]",
+		"long i = 5; /* startoffset */", // start 13, local offset 5
+		"i = nextoffset[i];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitEmptyProcessor(t *testing.T) {
+	pr := core.Problem{P: 4, K: 2, L: 3, S: 8, M: 0} // owns nothing
+	for _, sh := range []EmitShape{EmitA, EmitB, EmitC_, EmitD} {
+		out, err := EmitCCode(sh, pr, "0.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "owns no section elements") {
+			t.Errorf("shape %v: empty marker missing:\n%s", sh, out)
+		}
+	}
+	out, err := EmitTableFree(pr, "0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "owns no section elements") {
+		t.Errorf("table-free: empty marker missing:\n%s", out)
+	}
+}
+
+func TestEmitTableFree(t *testing.T) {
+	out, err := EmitTableFree(emitProblem, "100.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Theorem 3 constants for p=4, k=8, s=9 on processor 1:
+	// R=(4,1) gap 12, L=(5,-1) gap 3, block range [8,16), start offset 13.
+	for _, want := range []string{
+		"long offset = 13;",
+		"if (offset + 4 < 16)",
+		"base += 12; offset += 4;",
+		"base += 3; offset -= 5;",
+		"if (offset < 8)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// No tables in the table-free shape.
+	if strings.Contains(out, "deltaM") {
+		t.Errorf("table-free shape contains a table:\n%s", out)
+	}
+}
+
+func TestEmitTableFreeSingleGap(t *testing.T) {
+	pr := core.Problem{P: 4, K: 2, L: 3, S: 8, M: 1} // single-offset case
+	out, err := EmitTableFree(pr, "1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "base += 2;") { // k*s/d = 2*8/8
+		t.Errorf("constant-gap loop missing:\n%s", out)
+	}
+}
+
+func TestEmitInvalidProblem(t *testing.T) {
+	bad := core.Problem{P: 0, K: 8, L: 0, S: 9, M: 0}
+	if _, err := EmitCCode(EmitB, bad, "0.0"); err == nil {
+		t.Error("invalid problem should fail")
+	}
+	if _, err := EmitTableFree(bad, "0.0"); err == nil {
+		t.Error("invalid problem should fail")
+	}
+}
+
+func TestEmitShapeString(t *testing.T) {
+	if EmitA.String() != "8(a)" || EmitD.String() != "8(d)" {
+		t.Error("shape names wrong")
+	}
+	if EmitShape(9).String() != "EmitShape(9)" {
+		t.Error("unknown shape name wrong")
+	}
+}
+
+// simulateEmittedTableFree interprets the constants that EmitTableFree
+// would compile in, confirming the emitted control flow is the Theorem 3
+// walk (the same state machine core.Walker implements).
+func TestEmittedTableFreeSemantics(t *testing.T) {
+	pr := emitProblem
+	seq, err := core.Lattice(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis, ok, err := core.Vectors(pr.P, pr.K, pr.S)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	lo, hi := pr.K*pr.M, pr.K*(pr.M+1)
+	base := seq.StartLocal
+	offset := seq.Start % (pr.P * pr.K)
+	var addrs []int64
+	for len(addrs) < 20 {
+		addrs = append(addrs, base)
+		if offset+basis.R.B < hi {
+			base += basis.GapR
+			offset += basis.R.B
+		} else {
+			base += basis.GapL
+			offset -= basis.L.B
+			if offset < lo {
+				base += basis.GapR
+				offset += basis.R.B
+			}
+		}
+	}
+	// Compare to the AM-table walk.
+	want := seq.StartLocal
+	for i, got := range addrs {
+		if got != want {
+			t.Fatalf("emitted semantics diverge at %d: %d != %d", i, got, want)
+		}
+		want += seq.Gaps[i%len(seq.Gaps)]
+	}
+}
+
+// TestEmittedTableFreeSemanticsRandomized interprets the constants that
+// EmitTableFree compiles in across random problems, confirming the
+// emitted control flow always reproduces the AM table walk.
+func TestEmittedTableFreeSemanticsRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 300; trial++ {
+		p := r.Int63n(8) + 1
+		k := r.Int63n(12) + 2
+		s := r.Int63n(3*p*k) + 1
+		l := r.Int63n(2 * p * k)
+		m := r.Int63n(p)
+		pr := core.Problem{P: p, K: k, L: l, S: s, M: m}
+		seq, err := core.Lattice(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Empty() || len(seq.Gaps) < 2 {
+			continue
+		}
+		basis, ok, err := core.Vectors(p, k, s)
+		if err != nil || !ok {
+			t.Fatalf("%+v: basis missing: %v", pr, err)
+		}
+		lo, hi := k*m, k*(m+1)
+		base := seq.StartLocal
+		offset := seq.Start % (p * k)
+		want := seq.StartLocal
+		for i := 0; i < 3*len(seq.Gaps); i++ {
+			if base != want {
+				t.Fatalf("%+v: emitted semantics diverge at step %d: %d != %d",
+					pr, i, base, want)
+			}
+			// The emitted if/else chain.
+			if offset+basis.R.B < hi {
+				base += basis.GapR
+				offset += basis.R.B
+			} else {
+				base += basis.GapL
+				offset -= basis.L.B
+				if offset < lo {
+					base += basis.GapR
+					offset += basis.R.B
+				}
+			}
+			want += seq.Gaps[i%len(seq.Gaps)]
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/hpf"
+	"repro/internal/machine"
+	"repro/internal/section"
+)
+
+// BinOp combines the destination's current value with an incoming value.
+type BinOp func(old, incoming float64) float64
+
+// Replace is the assignment operator (Execute's behaviour).
+func Replace(_, incoming float64) float64 { return incoming }
+
+// Add accumulates into the destination.
+func Add(old, incoming float64) float64 { return old + incoming }
+
+// ExecuteWith runs the planned transfer like Execute but combines each
+// delivered value with the destination's current contents through op —
+// the runtime primitive behind array statements like A(..) += B(..) and
+// multi-operand expressions.
+func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) error {
+	nprocs := int64(m.NProcs())
+	if nprocs < p.NDst || nprocs < p.NSrc {
+		return fmt.Errorf("comm: machine has %d procs, plan needs %d dst / %d src",
+			nprocs, p.NDst, p.NSrc)
+	}
+	const tag = "comm.combine"
+	srcLayout := src.Layout()
+	dstLayout := dst.Layout()
+	m.Run(func(proc *machine.Proc) {
+		me := int64(proc.Rank())
+		if me < p.NSrc {
+			mem := src.LocalMem(me)
+			for r := int64(0); r < p.NDst; r++ {
+				var buf []float64
+				for _, ts := range p.Transfers[me][r] {
+					for _, t := range ts.Slice() {
+						g := p.SrcSec.Element(t)
+						buf = append(buf, mem[srcLayout.Local(g)])
+					}
+				}
+				proc.Send(int(r), tag, buf, nil)
+			}
+		}
+		if me < p.NDst {
+			mem := dst.LocalMem(me)
+			for q := int64(0); q < p.NSrc; q++ {
+				msg := proc.Recv(int(q), tag)
+				i := 0
+				for _, ts := range p.Transfers[q][me] {
+					for _, t := range ts.Slice() {
+						g := p.DstSec.Element(t)
+						addr := dstLayout.Local(g)
+						mem[addr] = op(mem[addr], msg.Data[i])
+						i++
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// Accumulate plans and executes dst(dstSec) op= src(srcSec).
+func Accumulate(m *machine.Machine, dst *hpf.Array, dstSec section.Section,
+	src *hpf.Array, srcSec section.Section, op BinOp) error {
+	plan, err := NewPlan(dst.Layout(), dst.N(), dstSec, src.Layout(), src.N(), srcSec)
+	if err != nil {
+		return err
+	}
+	return plan.ExecuteWith(m, dst, src, op)
+}
+
+// Combine computes the elementwise expression
+//
+//	dst(dstSec) = combine(a(aSec), b(bSec))
+//
+// across arbitrary distributions: the a-operand is copied into the
+// destination section first, then the b-operand is delivered and folded
+// in with combine. dst must not alias a or b over overlapping sections
+// (the copy would clobber operand values before they are read); use a
+// temporary for such updates.
+func Combine(m *machine.Machine, dst *hpf.Array, dstSec section.Section,
+	a *hpf.Array, aSec section.Section,
+	b *hpf.Array, bSec section.Section, combine BinOp) error {
+	if err := Copy(m, dst, dstSec, a, aSec); err != nil {
+		return err
+	}
+	return Accumulate(m, dst, dstSec, b, bSec, combine)
+}

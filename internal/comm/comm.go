@@ -1,0 +1,211 @@
+// Package comm generates and executes the communication sets for array
+// assignment statements A(l_a:u_a:s_a) = B(l_b:u_b:s_b) between arrays
+// with different cyclic(k) distributions — the compilation problem that
+// motivates the paper's address-generation work (Section 7; cf. Gupta et
+// al. and Stichnoth et al.).
+//
+// Position t of the assignment pairs destination element dstSec(t) with
+// source element srcSec(t). The positions a processor owns on either side
+// form a union of at most k arithmetic progressions in t (one per block
+// offset, with common difference pk/gcd(|s|, pk)); the set of positions
+// processor q must send to processor r is the pairwise intersection of
+// q's source progressions with r's destination progressions, each
+// computed in closed form by the extended Euclidean algorithm (package
+// section's Intersect). No per-element scanning is involved in planning.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/intmath"
+	"repro/internal/machine"
+	"repro/internal/section"
+)
+
+// Plan is the full communication schedule of one array assignment:
+// Transfers[q][r] lists, as sections over the position index t, the
+// elements processor q sends to processor r. Both sides traverse each
+// list in order, so packing and unpacking agree without extra metadata.
+type Plan struct {
+	NDst, NSrc int64
+	DstSec     section.Section
+	SrcSec     section.Section
+	// Transfers[q][r] = position sections moved from source proc q to
+	// destination proc r.
+	Transfers [][][]section.Section
+}
+
+// OwnedPositions returns the arithmetic progressions of positions t in
+// [0, n) whose section element sec(t) = lo + t·stride is owned by
+// processor m of the layout. At most k progressions, found by solving one
+// congruence per block offset. This is the building block for every
+// structured communication/intersection set in this package and in
+// package coupled.
+func OwnedPositions(l dist.Layout, sec section.Section, m, n int64) []section.Section {
+	pk := l.RowLen()
+	k := l.K()
+	d := intmath.GCD(sec.Stride, pk)
+	period := pk / d
+	var out []section.Section
+	for c := m * k; c < (m+1)*k; c++ {
+		t0, ok := intmath.SolveCongruence(sec.Stride, c-sec.Lo, pk)
+		if !ok || t0 >= n {
+			continue
+		}
+		last := t0 + (n-1-t0)/period*period
+		out = append(out, section.Section{Lo: t0, Hi: last, Stride: period})
+	}
+	return out
+}
+
+// NewPlan computes the communication schedule for dst(dstSec) = src(srcSec).
+// The two sections must have equal element counts and lie within their
+// arrays' bounds.
+func NewPlan(dstLayout dist.Layout, dstN int64, dstSec section.Section,
+	srcLayout dist.Layout, srcN int64, srcSec section.Section) (*Plan, error) {
+	n := dstSec.Count()
+	if sn := srcSec.Count(); sn != n {
+		return nil, fmt.Errorf("comm: section size mismatch: dst %v has %d elements, src %v has %d",
+			dstSec, n, srcSec, sn)
+	}
+	if n > 0 {
+		if err := checkBounds(dstSec, dstN); err != nil {
+			return nil, fmt.Errorf("comm: destination %v", err)
+		}
+		if err := checkBounds(srcSec, srcN); err != nil {
+			return nil, fmt.Errorf("comm: source %v", err)
+		}
+	}
+	p := &Plan{
+		NDst:   dstLayout.P(),
+		NSrc:   srcLayout.P(),
+		DstSec: dstSec,
+		SrcSec: srcSec,
+	}
+	p.Transfers = make([][][]section.Section, p.NSrc)
+	for q := range p.Transfers {
+		p.Transfers[q] = make([][]section.Section, p.NDst)
+	}
+	if n == 0 {
+		return p, nil
+	}
+	srcProgs := make([][]section.Section, p.NSrc)
+	for q := int64(0); q < p.NSrc; q++ {
+		srcProgs[q] = OwnedPositions(srcLayout, srcSec, q, n)
+	}
+	dstProgs := make([][]section.Section, p.NDst)
+	for r := int64(0); r < p.NDst; r++ {
+		dstProgs[r] = OwnedPositions(dstLayout, dstSec, r, n)
+	}
+	for q := int64(0); q < p.NSrc; q++ {
+		for r := int64(0); r < p.NDst; r++ {
+			for _, sp := range srcProgs[q] {
+				for _, dp := range dstProgs[r] {
+					if common, ok := section.Intersect(sp, dp); ok {
+						p.Transfers[q][r] = append(p.Transfers[q][r], common)
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+func checkBounds(sec section.Section, n int64) error {
+	asc, _ := sec.Ascending()
+	if asc.Empty() {
+		return nil
+	}
+	if asc.Lo < 0 || asc.Last() >= n {
+		return fmt.Errorf("section %v outside array [0, %d)", sec, n)
+	}
+	return nil
+}
+
+// Volume returns the total number of elements moved from q to r.
+func (p *Plan) Volume(q, r int64) int64 {
+	var v int64
+	for _, s := range p.Transfers[q][r] {
+		v += s.Count()
+	}
+	return v
+}
+
+// TotalVolume returns the total number of elements moved, including
+// processor-local copies.
+func (p *Plan) TotalVolume() int64 {
+	var v int64
+	for q := int64(0); q < p.NSrc; q++ {
+		for r := int64(0); r < p.NDst; r++ {
+			v += p.Volume(q, r)
+		}
+	}
+	return v
+}
+
+// Execute runs the planned assignment dst(dstSec) = src(srcSec) as an
+// SPMD program on the machine: every processor packs its outgoing
+// position sets from its local memory, exchanges messages, and unpacks
+// into its local destination memory. The machine's processor count must
+// cover both arrays' processor counts.
+func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
+	nprocs := int64(m.NProcs())
+	if nprocs < p.NDst || nprocs < p.NSrc {
+		return fmt.Errorf("comm: machine has %d procs, plan needs %d dst / %d src",
+			nprocs, p.NDst, p.NSrc)
+	}
+	const tag = "comm.copy"
+	srcLayout := src.Layout()
+	dstLayout := dst.Layout()
+	m.Run(func(proc *machine.Proc) {
+		me := int64(proc.Rank())
+		// Pack and send (or keep) every outgoing transfer.
+		if me < p.NSrc {
+			mem := src.LocalMem(me)
+			for r := int64(0); r < p.NDst; r++ {
+				var buf []float64
+				for _, ts := range p.Transfers[me][r] {
+					for _, t := range ts.Slice() {
+						g := p.SrcSec.Element(t)
+						buf = append(buf, mem[srcLayout.Local(g)])
+					}
+				}
+				// The processor-local portion also goes through the mailbox,
+				// keeping the unpack path uniform.
+				proc.Send(int(r), tag, buf, nil)
+			}
+		}
+		// Receive and unpack.
+		if me < p.NDst {
+			mem := dst.LocalMem(me)
+			for q := int64(0); q < p.NSrc; q++ {
+				msg := proc.Recv(int(q), tag)
+				i := 0
+				for _, ts := range p.Transfers[q][me] {
+					for _, t := range ts.Slice() {
+						g := p.DstSec.Element(t)
+						mem[dstLayout.Local(g)] = msg.Data[i]
+						i++
+					}
+				}
+				if i != len(msg.Data) {
+					panic(fmt.Sprintf("comm: unpacked %d of %d values from proc %d",
+						i, len(msg.Data), q))
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// Copy plans and executes dst(dstSec) = src(srcSec) in one call.
+func Copy(m *machine.Machine, dst *hpf.Array, dstSec section.Section,
+	src *hpf.Array, srcSec section.Section) error {
+	plan, err := NewPlan(dst.Layout(), dst.N(), dstSec, src.Layout(), src.N(), srcSec)
+	if err != nil {
+		return err
+	}
+	return plan.Execute(m, dst, src)
+}

@@ -1,0 +1,213 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+	"repro/internal/section"
+)
+
+func TestOwnedPositionsCoverExactly(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		p := r.Int63n(5) + 1
+		k := r.Int63n(6) + 1
+		layout := dist.MustNew(p, k)
+		stride := r.Int63n(20) + 1
+		if r.Intn(2) == 0 {
+			stride = -stride
+		}
+		lo := r.Int63n(200)
+		n := r.Int63n(100) + 1
+		sec := section.Section{Lo: lo, Hi: lo + (n-1)*stride, Stride: stride}
+		if sec.Count() != n {
+			t.Fatalf("test bug: count %d != %d", sec.Count(), n)
+		}
+		// Union over processors must partition [0, n).
+		covered := make([]int, n)
+		for m := int64(0); m < p; m++ {
+			for _, prog := range OwnedPositions(layout, sec, m, n) {
+				for _, tt := range prog.Slice() {
+					if tt < 0 || tt >= n {
+						t.Fatalf("position %d out of [0,%d)", tt, n)
+					}
+					if layout.Owner(sec.Element(tt)) != m {
+						t.Fatalf("position %d claimed by %d but owned by %d",
+							tt, m, layout.Owner(sec.Element(tt)))
+					}
+					covered[tt]++
+				}
+			}
+		}
+		for tt, c := range covered {
+			if c != 1 {
+				t.Fatalf("position %d covered %d times", tt, c)
+			}
+		}
+	}
+}
+
+func TestPlanVolumes(t *testing.T) {
+	dstL := dist.MustNew(4, 8)
+	srcL := dist.MustNew(3, 5)
+	dstSec := section.MustNew(0, 99, 1)
+	srcSec := section.MustNew(0, 198, 2)
+	plan, err := NewPlan(dstL, 200, dstSec, srcL, 200, srcSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.TotalVolume(); got != 100 {
+		t.Errorf("TotalVolume = %d, want 100", got)
+	}
+	// Each position appears in exactly one (q, r) transfer.
+	seen := make([]int, 100)
+	for q := int64(0); q < plan.NSrc; q++ {
+		for r := int64(0); r < plan.NDst; r++ {
+			for _, s := range plan.Transfers[q][r] {
+				for _, tt := range s.Slice() {
+					seen[tt]++
+				}
+			}
+		}
+	}
+	for tt, c := range seen {
+		if c != 1 {
+			t.Errorf("position %d in %d transfers", tt, c)
+		}
+	}
+}
+
+func TestPlanMismatchedSizes(t *testing.T) {
+	l := dist.MustNew(2, 2)
+	if _, err := NewPlan(l, 100, section.MustNew(0, 9, 1),
+		l, 100, section.MustNew(0, 9, 2)); err == nil {
+		t.Error("mismatched counts should fail")
+	}
+	if _, err := NewPlan(l, 5, section.MustNew(0, 9, 1),
+		l, 100, section.MustNew(0, 9, 1)); err == nil {
+		t.Error("out-of-bounds destination should fail")
+	}
+	if _, err := NewPlan(l, 100, section.MustNew(0, 9, 1),
+		l, 5, section.MustNew(0, 9, 1)); err == nil {
+		t.Error("out-of-bounds source should fail")
+	}
+}
+
+func TestCopySameDistribution(t *testing.T) {
+	layout := dist.MustNew(4, 8)
+	m := machine.MustNew(4)
+	src := hpf.MustNewArray(layout, 320)
+	dst := hpf.MustNewArray(layout, 320)
+	for i := int64(0); i < 320; i++ {
+		src.Set(i, float64(i))
+	}
+	// dst(4:300:9) = src(0:264:8): same layout, strided sections.
+	dstSec := section.MustNew(4, 300, 9)
+	srcSec := section.MustNew(0, int64(8*(dstSec.Count()-1)), 8)
+	if err := Copy(m, dst, dstSec, src, srcSec); err != nil {
+		t.Fatal(err)
+	}
+	for j := int64(0); j < dstSec.Count(); j++ {
+		want := float64(srcSec.Element(j))
+		if got := dst.Get(dstSec.Element(j)); got != want {
+			t.Errorf("dst(%d) = %v, want %v", dstSec.Element(j), got, want)
+		}
+	}
+	// Untouched elements stay zero.
+	if dst.Get(0) != 0 || dst.Get(319) != 0 {
+		t.Error("untouched elements modified")
+	}
+}
+
+func TestCopyCrossDistributionRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		pd := r.Int63n(4) + 1
+		ps := r.Int63n(4) + 1
+		kd := r.Int63n(6) + 1
+		ks := r.Int63n(6) + 1
+		dstL := dist.MustNew(pd, kd)
+		srcL := dist.MustNew(ps, ks)
+		nd := r.Int63n(300) + 50
+		ns := r.Int63n(300) + 50
+		dst := hpf.MustNewArray(dstL, nd)
+		src := hpf.MustNewArray(srcL, ns)
+		for i := int64(0); i < ns; i++ {
+			src.Set(i, float64(i+1))
+		}
+
+		// Pick random equal-count sections, either direction.
+		count := r.Int63n(20) + 1
+		mkSec := func(n int64) section.Section {
+			for {
+				stride := r.Int63n(7) + 1
+				if r.Intn(3) == 0 {
+					stride = -stride
+				}
+				span := (count - 1) * int64(abs(stride))
+				if span >= n {
+					continue
+				}
+				var lo int64
+				if stride > 0 {
+					lo = r.Int63n(n - span)
+				} else {
+					lo = span + r.Int63n(n-span)
+				}
+				return section.Section{Lo: lo, Hi: lo + (count-1)*stride, Stride: stride}
+			}
+		}
+		dstSec := mkSec(nd)
+		srcSec := mkSec(ns)
+
+		procs := int(max(pd, ps))
+		m := machine.MustNew(procs)
+		before := dst.Gather()
+		if err := Copy(m, dst, dstSec, src, srcSec); err != nil {
+			t.Fatal(err)
+		}
+		// Reference semantics: dst(dstSec(t)) = src(srcSec(t)).
+		want := before
+		for tt := int64(0); tt < count; tt++ {
+			want[dstSec.Element(tt)] = src.Get(srcSec.Element(tt))
+		}
+		got := dst.Gather()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (dst %v src %v): element %d = %v, want %v",
+					trial, dstSec, srcSec, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCopyEmptySections(t *testing.T) {
+	layout := dist.MustNew(2, 3)
+	m := machine.MustNew(2)
+	src := hpf.MustNewArray(layout, 30)
+	dst := hpf.MustNewArray(layout, 30)
+	if err := Copy(m, dst, section.MustNew(5, 4, 1), src, section.MustNew(5, 4, 1)); err != nil {
+		t.Fatalf("empty copy should succeed: %v", err)
+	}
+}
+
+func TestExecuteMachineTooSmall(t *testing.T) {
+	layout := dist.MustNew(4, 2)
+	m := machine.MustNew(2) // fewer procs than the layout
+	src := hpf.MustNewArray(layout, 40)
+	dst := hpf.MustNewArray(layout, 40)
+	err := Copy(m, dst, section.MustNew(0, 9, 1), src, section.MustNew(0, 9, 1))
+	if err == nil {
+		t.Error("machine smaller than layouts should fail")
+	}
+}

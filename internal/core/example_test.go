@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The paper's Section 5 walk-through: p=4, k=8, l=4, s=9, processor 1.
+func ExampleLattice() {
+	seq, err := core.Lattice(core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("start:", seq.Start)
+	fmt.Println("start local address:", seq.StartLocal)
+	fmt.Println("AM:", seq.Gaps)
+	// Output:
+	// start: 13
+	// start local address: 5
+	// AM: [3 12 15 12 3 12 3 12]
+}
+
+// The R/L basis vectors behind the example (Section 4, Figure 4).
+func ExampleVectors() {
+	basis, ok, err := core.Vectors(4, 8, 9)
+	if err != nil || !ok {
+		panic(fmt.Sprint(ok, err))
+	}
+	fmt.Printf("R = (%d,%d), index %d, gap %d\n", basis.R.B, basis.R.A, basis.R.I, basis.GapR)
+	fmt.Printf("L = (%d,%d), index %d, gap %d\n", basis.L.B, basis.L.A, basis.L.I, basis.GapL)
+	// Output:
+	// R = (4,1), index 4, gap 12
+	// L = (5,-1), index -3, gap 3
+}
+
+// A Walker regenerates the same gaps with no table storage (Section 6.2).
+func ExampleWalker() {
+	w, ok, err := core.NewWalker(core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1})
+	if err != nil || !ok {
+		panic(fmt.Sprint(ok, err))
+	}
+	fmt.Println(w.Addresses(6, nil))
+	// Output:
+	// [5 8 20 35 47 50]
+}
+
+// Bounded sections: the upper bound affects only where the walk stops.
+func ExampleProblem_Count() {
+	pr := core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1}
+	n, _ := pr.Count(319)
+	last, _ := pr.Last(319)
+	fmt.Printf("processor %d owns %d of A(4:319:9); last is element %d\n", pr.M, n, last)
+	// Output:
+	// processor 1 owns 9 of A(4:319:9); last is element 301
+}
+
+// TableSet shares the basis across processors (Section 6.1's compile-time
+// scenario); with gcd(s, pk) = 1 the tables are cyclic shifts.
+func ExampleTableSet() {
+	ts, err := core.NewTableSet(4, 8, 4, 9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("single cycle:", ts.SingleCycle())
+	for m := int64(0); m < 2; m++ {
+		seq, _ := ts.Sequence(m)
+		fmt.Printf("proc %d: %v\n", m, seq.Gaps)
+	}
+	// Output:
+	// single cycle: true
+	// proc 0: [15 12 3 12 3 12 3 12]
+	// proc 1: [3 12 15 12 3 12 3 12]
+}

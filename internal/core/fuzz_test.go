@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzLatticeVsOracle drives the three fast algorithms against the
+// brute-force oracle with fuzzer-chosen parameters. `go test` runs the
+// seed corpus; `go test -fuzz FuzzLatticeVsOracle` explores further.
+func FuzzLatticeVsOracle(f *testing.F) {
+	f.Add(int64(4), int64(8), int64(4), int64(9), int64(1)) // the paper
+	f.Add(int64(32), int64(512), int64(0), int64(7), int64(31))
+	f.Add(int64(1), int64(1), int64(0), int64(1), int64(0))
+	f.Add(int64(4), int64(2), int64(3), int64(8), int64(2)) // degenerate
+	f.Add(int64(7), int64(16), int64(100), int64(113), int64(3))
+	f.Fuzz(func(t *testing.T, p, k, l, s, m int64) {
+		// Clamp into the valid, testable regime (the oracle is O(pk/d)).
+		p = 1 + absMod(p, 16)
+		k = 1 + absMod(k, 32)
+		s = 1 + absMod(s, 4*p*k)
+		l = absMod(l, 3*p*k)
+		m = absMod(m, p)
+		pr := Problem{P: p, K: k, L: l, S: s, M: m}
+		ref, err := Enumerate(pr)
+		if err != nil {
+			t.Fatalf("oracle failed on valid input %+v: %v", pr, err)
+		}
+		lat, err := Lattice(pr)
+		if err != nil {
+			t.Fatalf("Lattice(%+v): %v", pr, err)
+		}
+		if !lat.Equal(ref) {
+			t.Fatalf("%+v: lattice %v != oracle %v", pr, lat, ref)
+		}
+		srt, err := Sorting(pr)
+		if err != nil || !srt.Equal(ref) {
+			t.Fatalf("%+v: sorting %v != oracle %v (err %v)", pr, srt, ref, err)
+		}
+		if hir, err := Hiranandani(pr); err == nil && !hir.Equal(ref) {
+			t.Fatalf("%+v: hiranandani %v != oracle %v", pr, hir, ref)
+		}
+		ts, err := NewTableSet(p, k, l, s)
+		if err != nil {
+			t.Fatalf("NewTableSet(%+v): %v", pr, err)
+		}
+		if got, err := ts.Sequence(m); err != nil || !got.Equal(ref) {
+			t.Fatalf("%+v: tableset %v != oracle %v (err %v)", pr, got, ref, err)
+		}
+	})
+}
+
+// FuzzWalkerAgainstTable checks the table-free walker against the AM
+// table over several periods.
+func FuzzWalkerAgainstTable(f *testing.F) {
+	f.Add(int64(4), int64(8), int64(4), int64(9), int64(1))
+	f.Add(int64(3), int64(5), int64(2), int64(11), int64(2))
+	f.Fuzz(func(t *testing.T, p, k, l, s, m int64) {
+		p = 1 + absMod(p, 12)
+		k = 1 + absMod(k, 24)
+		s = 1 + absMod(s, 3*p*k)
+		l = absMod(l, 2*p*k)
+		m = absMod(m, p)
+		pr := Problem{P: p, K: k, L: l, S: s, M: m}
+		seq, err := Lattice(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok, err := NewWalker(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != !seq.Empty() {
+			t.Fatalf("%+v: walker ok=%v, sequence empty=%v", pr, ok, seq.Empty())
+		}
+		if !ok {
+			return
+		}
+		for rep := 0; rep < 2; rep++ {
+			for i, g := range seq.Gaps {
+				if got := w.Next(); got != g {
+					t.Fatalf("%+v: walker gap %d = %d, want %d", pr, i, got, g)
+				}
+			}
+		}
+	})
+}
+
+func absMod(v, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	r := v % n
+	if r < 0 {
+		r += n
+	}
+	return r
+}

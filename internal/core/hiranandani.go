@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/intmath"
+)
+
+// ErrStrideTooLarge is returned by Hiranandani when the special condition
+// s mod pk < k does not hold.
+var ErrStrideTooLarge = errors.New("core: Hiranandani method requires s mod pk < k")
+
+// Hiranandani computes the access sequence with the O(k) special-case
+// method of Hiranandani, Kennedy, Mellor-Crummey & Sethi (ICS'94), valid
+// only when s mod pk < k (the section advances through each row by less
+// than a block, so each processor's accesses within a row form one
+// contiguous run of section elements).
+//
+// Within a run, consecutive section elements are one stride apart and the
+// local gap is constant; between runs the method jumps directly to the
+// next run's head. Both steps are O(1), and the table is complete after
+// one period, giving O(k + min(log s, log p)) total — but unlike Lattice
+// this only works under the stride restriction; for s mod pk ≥ k it
+// returns ErrStrideTooLarge.
+func Hiranandani(pr Problem) (Sequence, error) {
+	if err := pr.Validate(); err != nil {
+		return Sequence{}, err
+	}
+	pk := pr.P * pr.K
+	sr := pr.S % pk   // stride's offset advance per element
+	rows := pr.S / pk // stride's row advance per element
+	if sr >= pr.K {
+		return Sequence{}, fmt.Errorf("%w: s=%d, pk=%d, k=%d", ErrStrideTooLarge, pr.S, pk, pr.K)
+	}
+
+	d, x, _ := intmath.ExtGCD(pr.S, pk)
+	start, length := pr.startScan(pk, d, x, nil)
+
+	switch length {
+	case 0:
+		return Sequence{Start: -1}, nil
+	case 1:
+		return Sequence{
+			Start:      start,
+			StartLocal: pr.localAddr(start, pk),
+			Gaps:       []int64{pr.K * pr.S / d},
+		}, nil
+	}
+	// length >= 2 excludes sr == 0 (pk | s forces a single offset class).
+
+	lo, hi := pr.K*pr.M, pr.K*(pr.M+1)
+	gaps := make([]int64, length)
+	offset := intmath.FloorMod(start, pk) // in [lo, hi)
+	inRun := rows*pr.K + sr               // local gap between consecutive section elements in a run
+	for i := int64(0); i < length; i++ {
+		if offset+sr < hi {
+			// Next section element still lands in this processor's block.
+			gaps[i] = inRun
+			offset += sr
+			continue
+		}
+		// Jump to the head of the next run: the smallest t ≥ 1 with
+		// offset + t·sr ≥ lo + pk (one full wrap of the row offset).
+		t := intmath.CeilDiv(lo+pk-offset, sr)
+		newOffset := offset + t*sr - pk
+		gaps[i] = (t*rows+1)*pr.K + newOffset - offset
+		offset = newOffset
+	}
+	return Sequence{
+		Start:      start,
+		StartLocal: pr.localAddr(start, pk),
+		Gaps:       gaps,
+	}, nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickProblem generates random valid Problems for testing/quick.
+type quickProblem struct {
+	Pr Problem
+	U  int64 // upper bound at least L
+}
+
+// Generate implements quick.Generator with a parameter distribution that
+// covers the interesting regimes: tiny and large strides, strides that
+// share factors with pk, lower bounds past the first row, every processor.
+func (quickProblem) Generate(r *rand.Rand, size int) reflect.Value {
+	p := r.Int63n(12) + 1
+	k := r.Int63n(16) + 1
+	pk := p * k
+	var s int64
+	switch r.Intn(4) {
+	case 0:
+		s = r.Int63n(k) + 1 // small: Hiranandani regime
+	case 1:
+		s = pk + r.Int63n(5) - 2 // near the row length
+		if s < 1 {
+			s = 1
+		}
+	case 2:
+		s = (r.Int63n(4) + 1) * gcdFriendly(r, pk) // shares factors with pk
+	default:
+		s = r.Int63n(4*pk) + 1
+	}
+	l := r.Int63n(3 * pk)
+	m := r.Int63n(p)
+	u := l + r.Int63n(6*s*k+1)
+	return reflect.ValueOf(quickProblem{
+		Pr: Problem{P: p, K: k, L: l, S: s, M: m},
+		U:  u,
+	})
+}
+
+func gcdFriendly(r *rand.Rand, pk int64) int64 {
+	// A random divisor of pk.
+	var divs []int64
+	for d := int64(1); d*d <= pk; d++ {
+		if pk%d == 0 {
+			divs = append(divs, d, pk/d)
+		}
+	}
+	return divs[r.Intn(len(divs))]
+}
+
+// Property: all algorithms agree with the brute-force oracle.
+func TestQuickAllAlgorithmsAgree(t *testing.T) {
+	f := func(q quickProblem) bool {
+		ref, err := Enumerate(q.Pr)
+		if err != nil {
+			return false
+		}
+		lat, err := Lattice(q.Pr)
+		if err != nil || !lat.Equal(ref) {
+			return false
+		}
+		srt, err := Sorting(q.Pr)
+		if err != nil || !srt.Equal(ref) {
+			return false
+		}
+		if hir, err := Hiranandani(q.Pr); err == nil && !hir.Equal(ref) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the AM cycle advances local memory by exactly k·s/d, and the
+// table length equals the number of solvable offsets (≤ k).
+func TestQuickCycleSum(t *testing.T) {
+	f := func(q quickProblem) bool {
+		seq, err := Lattice(q.Pr)
+		if err != nil {
+			return false
+		}
+		if seq.Empty() {
+			return true
+		}
+		var sum int64
+		for _, g := range seq.Gaps {
+			sum += g
+		}
+		d := gcd64(q.Pr.S, q.Pr.P*q.Pr.K)
+		return sum == q.Pr.K*q.Pr.S/d && int64(len(seq.Gaps)) <= q.Pr.K
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count/Last/Addresses are mutually consistent with the gap
+// walk for bounded sections.
+func TestQuickBoundedConsistency(t *testing.T) {
+	f := func(q quickProblem) bool {
+		n, err := q.Pr.Count(q.U)
+		if err != nil {
+			return false
+		}
+		addrs, err := q.Pr.Addresses(q.U)
+		if err != nil || int64(len(addrs)) != n {
+			return false
+		}
+		last, err := q.Pr.Last(q.U)
+		if err != nil {
+			return false
+		}
+		if n == 0 {
+			return last == -1
+		}
+		// The last address must be the local address of the Last element.
+		pk := q.Pr.P * q.Pr.K
+		wantLast := (last/pk)*q.Pr.K + last%q.Pr.K
+		return addrs[n-1] == wantLast
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Walker's stream is exactly the cyclic AM table.
+func TestQuickWalkerPeriodicity(t *testing.T) {
+	f := func(q quickProblem) bool {
+		seq, err := Lattice(q.Pr)
+		if err != nil {
+			return false
+		}
+		w, ok, err := NewWalker(q.Pr)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			return seq.Empty()
+		}
+		for rep := 0; rep < 3; rep++ {
+			for _, g := range seq.Gaps {
+				if w.Next() != g {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: offset tables chase through the full cycle and return to the
+// start state (the FSM is a single cycle over touched offsets).
+func TestQuickOffsetTableCycle(t *testing.T) {
+	f := func(q quickProblem) bool {
+		ot, err := OffsetTables(q.Pr)
+		if err != nil {
+			return false
+		}
+		if ot.Start < 0 {
+			return ot.Length == 0
+		}
+		off := ot.Start
+		seen := map[int64]bool{}
+		for i := int64(0); i < ot.Length; i++ {
+			if off < 0 || off >= q.Pr.K || seen[off] {
+				return false
+			}
+			seen[off] = true
+			off = ot.NextOffset[off]
+		}
+		return off == ot.Start
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifting the lower bound by one full row (pk) shifts the
+// start by pk (k local cells) and leaves the gap table unchanged — the
+// table depends on l only through its residue class (Section 3: the
+// lattice is independent of l).
+func TestQuickLowerBoundShift(t *testing.T) {
+	f := func(q quickProblem) bool {
+		pk := q.Pr.P * q.Pr.K
+		a, err := Lattice(q.Pr)
+		if err != nil {
+			return false
+		}
+		shifted := q.Pr
+		shifted.L += pk
+		b, err := Lattice(shifted)
+		if err != nil {
+			return false
+		}
+		if a.Empty() != b.Empty() {
+			return false
+		}
+		if a.Empty() {
+			return true
+		}
+		// Same gap table, start shifted by exactly pk (one full row, k local
+		// cells).
+		if b.Start != a.Start+pk || b.StartLocal != a.StartLocal+q.Pr.K {
+			return false
+		}
+		return reflect.DeepEqual(a.Gaps, b.Gaps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

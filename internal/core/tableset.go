@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/intmath"
+)
+
+// TableSet amortizes AM-table construction across all processors of one
+// (p, k, l, s) configuration — the compile-time scenario of Section 6.1:
+// "If input parameters p, k, l, and s for our algorithm are compile-time
+// constants, then the compiler could compute the table of memory gaps for
+// each processor. In that case the code that computes the basis vectors R
+// and L would have to be executed only once."
+//
+// The key structural fact is that the Figure 5 gap decision depends on
+// the element's offset only RELATIVE to its block: Equation 1 tests
+// (offset − km) + b_r < k and Equation 3 tests (offset − km) − b_l < 0.
+// So one offset-indexed transition table (gap and successor per local
+// offset) serves every processor; per processor only the start location
+// remains to be computed. When gcd(s, pk) = 1 the transition graph is a
+// single k-cycle, making the processors' AM tables cyclic shifts of one
+// another — the paper's closing observation in Section 6.1.
+type TableSet struct {
+	p, k, l, s int64
+	pk, d, x   int64
+
+	// Shared transition table, indexed by local offset in [0, k); valid
+	// only when the general case applies (maxLen > 1).
+	delta []int64
+	next  []int64
+
+	// singleGap holds k·s/d for the length ≤ 1 special cases.
+	singleGap int64
+	general   bool
+}
+
+// NewTableSet validates the configuration and computes everything that is
+// processor independent: the extended Euclid results, the R/L basis and
+// the shared transition table. O(k + min(log s, log p)) once.
+func NewTableSet(p, k, l, s int64) (*TableSet, error) {
+	pr := Problem{P: p, K: k, L: l, S: s, M: 0}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	pk := p * k
+	d, x, _ := intmath.ExtGCD(s, pk)
+	ts := &TableSet{
+		p: p, k: k, l: l, s: s,
+		pk: pk, d: d, x: x,
+		singleGap: k * s / d,
+	}
+	lat := problemLattice(pr, pk, d, x)
+	basis, ok := lat.RL()
+	if !ok {
+		// Degenerate configuration: every processor's table has length <= 1.
+		return ts, nil
+	}
+	ts.general = true
+	ts.delta = make([]int64, k)
+	ts.next = make([]int64, k)
+	br, bl := basis.R.B, basis.L.B
+	for o := int64(0); o < k; o++ {
+		if o+br < k {
+			ts.delta[o] = basis.GapR // Equation 1
+			ts.next[o] = o + br
+			continue
+		}
+		gap := basis.GapL // Equation 2
+		n := o - bl
+		if n < 0 {
+			gap += basis.GapR // Equation 3
+			n += br
+		}
+		ts.delta[o] = gap
+		ts.next[o] = n
+	}
+	return ts, nil
+}
+
+// Sequence returns processor m's access sequence, identical to
+// Lattice(Problem{...M: m}) but reusing the shared tables: only the O(k)
+// start scan runs per processor.
+func (ts *TableSet) Sequence(m int64) (Sequence, error) {
+	if m < 0 || m >= ts.p {
+		return Sequence{}, fmt.Errorf("core: processor %d outside [0, %d)", m, ts.p)
+	}
+	pr := Problem{P: ts.p, K: ts.k, L: ts.l, S: ts.s, M: m}
+	start, length := pr.startScan(ts.pk, ts.d, ts.x, nil)
+	switch length {
+	case 0:
+		return Sequence{Start: -1}, nil
+	case 1:
+		return Sequence{
+			Start:      start,
+			StartLocal: pr.localAddr(start, ts.pk),
+			Gaps:       []int64{ts.singleGap},
+		}, nil
+	}
+	gaps := make([]int64, length)
+	o := intmath.FloorMod(start, ts.k)
+	for i := range gaps {
+		gaps[i] = ts.delta[o]
+		o = ts.next[o]
+	}
+	return Sequence{
+		Start:      start,
+		StartLocal: pr.localAddr(start, ts.pk),
+		Gaps:       gaps,
+	}, nil
+}
+
+// All returns every processor's sequence.
+func (ts *TableSet) All() ([]Sequence, error) {
+	out := make([]Sequence, ts.p)
+	for m := int64(0); m < ts.p; m++ {
+		seq, err := ts.Sequence(m)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = seq
+	}
+	return out, nil
+}
+
+// SingleCycle reports whether the shared transition graph is one k-cycle,
+// i.e. gcd(s, pk) = 1 — the case where the paper notes that "the local AM
+// sequences are cyclic shifts of one another, and after computing the
+// table once, only the starting locations for all the processors need to
+// be found."
+func (ts *TableSet) SingleCycle() bool { return ts.general && ts.d == 1 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/intmath"
+)
+
+// Walker generates the local memory access sequence one gap at a time
+// from the basis vectors alone, storing no tables — the space/time
+// trade-off of Section 6.2 (and reference [12]): "the algorithm can be
+// modified to return only vectors R and L, without storing any tables.
+// Based on these values, every processor can generate its local addresses
+// as needed."
+//
+// A Walker is created per (distribution, stride, processor, lower bound)
+// and yields the same gap stream as the cyclic AM table of Lattice, but
+// in O(1) space.
+type Walker struct {
+	// Degenerate mode (AM length <= 1): constGap repeats forever.
+	constGap int64
+	degen    bool
+
+	// General mode: Theorem 3 state.
+	offset     int64
+	lo, hi     int64
+	br, bl     int64
+	gapR, gapL int64
+
+	start      int64
+	startLocal int64
+	period     int64
+}
+
+// NewWalker builds a Walker for the problem. For processors that own no
+// section elements it returns ok = false.
+func NewWalker(pr Problem) (*Walker, bool, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, false, err
+	}
+	pk := pr.P * pr.K
+	d, x, _ := intmath.ExtGCD(pr.S, pk)
+	start, length := pr.startScan(pk, d, x, nil)
+	if length == 0 {
+		return nil, false, nil
+	}
+	w := &Walker{
+		start:      start,
+		startLocal: pr.localAddr(start, pk),
+		period:     length,
+	}
+	if length == 1 {
+		w.degen = true
+		w.constGap = pr.K * pr.S / d
+		return w, true, nil
+	}
+	lat := problemLattice(pr, pk, d, x)
+	basis, ok := lat.RL()
+	if !ok {
+		panic("core: internal: no basis despite length > 1")
+	}
+	w.offset = intmath.FloorMod(start, pk)
+	w.lo, w.hi = pr.K*pr.M, pr.K*(pr.M+1)
+	w.br, w.bl = basis.R.B, basis.L.B
+	w.gapR, w.gapL = basis.GapR, basis.GapL
+	return w, true, nil
+}
+
+// Start returns the global index of the first owned section element.
+func (w *Walker) Start() int64 { return w.start }
+
+// StartLocal returns the local memory address of the first owned element.
+func (w *Walker) StartLocal() int64 { return w.startLocal }
+
+// Period returns the length of the cyclic gap pattern.
+func (w *Walker) Period() int64 { return w.period }
+
+// Next returns the local memory gap from the current owned element to the
+// next one, advancing the walker. The stream is infinite (the pattern is
+// cyclic); callers bound it with Period or an element count.
+func (w *Walker) Next() int64 {
+	if w.degen {
+		return w.constGap
+	}
+	if w.offset+w.br < w.hi {
+		w.offset += w.br
+		return w.gapR // Equation 1
+	}
+	gap := w.gapL // Equation 2
+	w.offset -= w.bl
+	if w.offset < w.lo {
+		gap += w.gapR // Equation 3
+		w.offset += w.br
+	}
+	return gap
+}
+
+// Addresses streams the local addresses of the first n owned elements
+// into dst (allocating if dst is too small) and returns it.
+func (w *Walker) Addresses(n int64, dst []int64) []int64 {
+	if int64(cap(dst)) < n {
+		dst = make([]int64, 0, n)
+	}
+	dst = dst[:0]
+	addr := w.startLocal
+	for i := int64(0); i < n; i++ {
+		dst = append(dst, addr)
+		addr += w.Next()
+	}
+	return dst
+}

@@ -1,0 +1,159 @@
+// Package coupled handles COUPLED subscripts: array references whose
+// dimensions are driven by the same loop index, such as the diagonal
+// A(i, i) or the banded A(i, c·i + d). The paper lists "compiling
+// programs that access diagonal or trapezoidal array sections" as open
+// future work (Section 8) and defers coupled subscripts to the authors'
+// ICS'95 follow-up (reference [12]); this package implements the natural
+// extension of the same machinery.
+//
+// For a loop index i ranging over a regular section, element
+// (i, c·i + d) of a grid-distributed 2-D array lives on grid processor
+// (owner₀(i), owner₁(c·i + d)). Each ownership condition makes the set of
+// loop positions a union of at most k arithmetic progressions (one
+// congruence per block offset, exactly as in the 1-D case); a grid
+// processor's positions are the pairwise progression intersections,
+// computed in closed form by the extended Euclidean algorithm — no
+// element scanning.
+package coupled
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+// Ref is a coupled 2-D array reference A(i, C·i + D) over a rank-2 grid.
+type Ref struct {
+	Grid *dist.Grid
+	C, D int64 // second subscript as a function of the first
+}
+
+// NewRef validates the reference. C may be negative (anti-diagonals) but
+// not zero (that would be an uncoupled reference A(i, const), which the
+// 1-D machinery already covers).
+func NewRef(grid *dist.Grid, c, d int64) (*Ref, error) {
+	if grid.Rank() != 2 {
+		return nil, fmt.Errorf("coupled: need a rank-2 grid, got %d", grid.Rank())
+	}
+	if c == 0 {
+		return nil, fmt.Errorf("coupled: c = 0 is not a coupled subscript")
+	}
+	return &Ref{Grid: grid, C: c, D: d}, nil
+}
+
+// Second returns the second subscript for loop index i.
+func (rf *Ref) Second(i int64) int64 { return rf.C*i + rf.D }
+
+// Owner returns the grid coordinates owning the element touched at loop
+// index i.
+func (rf *Ref) Owner(i int64) (m0, m1 int64) {
+	return rf.Grid.Dim(0).Owner(i), rf.Grid.Dim(1).Owner(rf.Second(i))
+}
+
+// checkRange validates that every element the loop touches stays inside
+// an n0×n1 array: affine subscripts are monotonic, so endpoint checks
+// suffice.
+func (rf *Ref) checkRange(sec section.Section, n0, n1 int64) error {
+	if sec.Empty() {
+		return nil
+	}
+	for _, i := range []int64{sec.Lo, sec.Last()} {
+		if i < 0 || i >= n0 {
+			return fmt.Errorf("coupled: first subscript %d outside [0, %d)", i, n0)
+		}
+		if j := rf.Second(i); j < 0 || j >= n1 {
+			return fmt.Errorf("coupled: second subscript %d outside [0, %d)", j, n1)
+		}
+	}
+	return nil
+}
+
+// Positions returns the loop positions t (as progressions over
+// [0, sec.Count())) whose element (i, C·i+D), i = sec(t), lives on the
+// grid processor at coords. The result is sorted by first element.
+func (rf *Ref) Positions(coords []int64, sec section.Section, n0, n1 int64) ([]section.Section, error) {
+	if len(coords) != 2 {
+		return nil, fmt.Errorf("coupled: want 2 coordinates, got %d", len(coords))
+	}
+	if err := rf.checkRange(sec, n0, n1); err != nil {
+		return nil, err
+	}
+	n := sec.Count()
+	if n == 0 {
+		return nil, nil
+	}
+	// Condition on dim 0: i = sec.Lo + t·sec.Stride owned by coords[0].
+	p0 := comm.OwnedPositions(rf.Grid.Dim(0), sec, coords[0], n)
+	// Condition on dim 1: j = C·sec.Lo + D + t·(C·sec.Stride) owned by
+	// coords[1] — another regular section in t.
+	sec1 := section.Section{
+		Lo:     rf.Second(sec.Lo),
+		Hi:     rf.Second(sec.Lo) + (n-1)*rf.C*sec.Stride,
+		Stride: rf.C * sec.Stride,
+	}
+	p1 := comm.OwnedPositions(rf.Grid.Dim(1), sec1, coords[1], n)
+
+	var out []section.Section
+	for _, a := range p0 {
+		for _, b := range p1 {
+			if common, ok := section.Intersect(a, b); ok {
+				out = append(out, common)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return out, nil
+}
+
+// Access is one owned loop iteration: the position t, the global
+// subscripts, and the linear address in the processor's dense row-major
+// local matrix (as laid out by hpf.Array2D).
+type Access struct {
+	T      int64 // loop position
+	I, J   int64 // global subscripts
+	Linear int64 // local linear address
+}
+
+// Addresses materializes the owned iterations for the processor at
+// coords, in loop order, with local addresses for an n0×n1 array.
+func (rf *Ref) Addresses(coords []int64, sec section.Section, n0, n1 int64) ([]Access, error) {
+	progs, err := rf.Positions(coords, sec, n0, n1)
+	if err != nil {
+		return nil, err
+	}
+	width := rf.Grid.Dim(1).LocalCount(coords[1], n1)
+	var ts []int64
+	for _, pg := range progs {
+		ts = append(ts, pg.Slice()...)
+	}
+	if len(ts) == 0 {
+		return nil, nil
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]Access, 0, len(ts))
+	for _, t := range ts {
+		i := sec.Element(t)
+		j := rf.Second(i)
+		out = append(out, Access{
+			T: t, I: i, J: j,
+			Linear: rf.Grid.Dim(0).Local(i)*width + rf.Grid.Dim(1).Local(j),
+		})
+	}
+	return out, nil
+}
+
+// Count returns how many loop iterations the processor at coords owns.
+func (rf *Ref) Count(coords []int64, sec section.Section, n0, n1 int64) (int64, error) {
+	progs, err := rf.Positions(coords, sec, n0, n1)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, pg := range progs {
+		n += pg.Count()
+	}
+	return n, nil
+}

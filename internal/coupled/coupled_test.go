@@ -1,0 +1,177 @@
+package coupled
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+func TestNewRefValidation(t *testing.T) {
+	g2 := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 2))
+	if _, err := NewRef(g2, 0, 5); err == nil {
+		t.Error("c=0 should be rejected")
+	}
+	g1 := dist.MustNewGrid(dist.MustNew(2, 2))
+	if _, err := NewRef(g1, 1, 0); err == nil {
+		t.Error("rank-1 grid should be rejected")
+	}
+	if _, err := NewRef(g2, 1, 0); err != nil {
+		t.Errorf("valid ref rejected: %v", err)
+	}
+}
+
+// bruteAccesses enumerates the loop directly.
+func bruteAccesses(rf *Ref, coords []int64, sec section.Section, n1 int64) []Access {
+	width := rf.Grid.Dim(1).LocalCount(coords[1], n1)
+	var out []Access
+	for t, n := int64(0), sec.Count(); t < n; t++ {
+		i := sec.Element(t)
+		j := rf.Second(i)
+		m0, m1 := rf.Owner(i)
+		if m0 == coords[0] && m1 == coords[1] {
+			out = append(out, Access{
+				T: t, I: i, J: j,
+				Linear: rf.Grid.Dim(0).Local(i)*width + rf.Grid.Dim(1).Local(j),
+			})
+		}
+	}
+	return out
+}
+
+func TestDiagonalAgainstBrute(t *testing.T) {
+	// A(i, i) on a 2x3 grid: only processors whose blocks intersect the
+	// diagonal own iterations.
+	g := dist.MustNewGrid(dist.MustNew(2, 3), dist.MustNew(3, 2))
+	rf, err := NewRef(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := section.MustNew(0, 35, 1)
+	var total int64
+	for r := int64(0); r < g.Procs(); r++ {
+		coords := g.Coords(r)
+		got, err := rf.Addresses(coords, sec, 36, 36)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAccesses(rf, coords, sec, 36)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("proc %v:\n got  %v\n want %v", coords, got, want)
+		}
+		total += int64(len(got))
+	}
+	if total != 36 {
+		t.Errorf("diagonal iterations total %d, want 36", total)
+	}
+}
+
+func TestCoupledRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		g := dist.MustNewGrid(
+			dist.MustNew(r.Int63n(3)+1, r.Int63n(4)+1),
+			dist.MustNew(r.Int63n(3)+1, r.Int63n(4)+1),
+		)
+		c := r.Int63n(7) - 3
+		if c == 0 {
+			c = 2
+		}
+		d := r.Int63n(30)
+		rf, err := NewRef(g, c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build a loop section whose images stay in bounds.
+		s := r.Int63n(4) + 1
+		lo := r.Int63n(10)
+		cnt := r.Int63n(12) + 1
+		hi := lo + (cnt-1)*s
+		n0 := hi + 1 + r.Int63n(10)
+		// Second subscript range.
+		jLo, jHi := rf.Second(lo), rf.Second(hi)
+		if jLo > jHi {
+			jLo, jHi = jHi, jLo
+		}
+		if jLo < 0 {
+			d -= jLo
+			rf.D = d
+			jHi -= jLo
+			jLo = 0
+		}
+		n1 := jHi + 1 + r.Int63n(10)
+		sec := section.Section{Lo: lo, Hi: hi, Stride: s}
+
+		var total int64
+		for rank := int64(0); rank < g.Procs(); rank++ {
+			coords := g.Coords(rank)
+			got, err := rf.Addresses(coords, sec, n0, n1)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			want := bruteAccesses(rf, coords, sec, n1)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d c=%d d=%d sec=%v proc %v:\n got  %v\n want %v",
+					trial, c, d, sec, coords, got, want)
+			}
+			n, err := rf.Count(coords, sec, n0, n1)
+			if err != nil || n != int64(len(want)) {
+				t.Fatalf("trial %d: Count=%d want %d err=%v", trial, n, len(want), err)
+			}
+			total += n
+		}
+		if total != sec.Count() {
+			t.Fatalf("trial %d: iterations split %d, want %d", trial, total, sec.Count())
+		}
+	}
+}
+
+func TestAntiDiagonal(t *testing.T) {
+	// A(i, 20 - i): c = -1.
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 2))
+	rf, err := NewRef(g, -1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := section.MustNew(0, 20, 1)
+	var total int64
+	for rank := int64(0); rank < g.Procs(); rank++ {
+		coords := g.Coords(rank)
+		got, err := rf.Addresses(coords, sec, 21, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAccesses(rf, coords, sec, 21)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("proc %v mismatch", coords)
+		}
+		total += int64(len(got))
+	}
+	if total != 21 {
+		t.Errorf("anti-diagonal total %d, want 21", total)
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 2))
+	rf, _ := NewRef(g, 1, 0)
+	// i up to 40 but array is 30x30.
+	if _, err := rf.Positions([]int64{0, 0}, section.MustNew(0, 40, 1), 30, 30); err == nil {
+		t.Error("out-of-range first subscript should fail")
+	}
+	// j = 2i+5 escapes n1.
+	rf2, _ := NewRef(g, 2, 5)
+	if _, err := rf2.Positions([]int64{0, 0}, section.MustNew(0, 9, 1), 10, 20); err == nil {
+		t.Error("out-of-range second subscript should fail")
+	}
+	// Wrong coords length.
+	if _, err := rf.Positions([]int64{0}, section.MustNew(0, 9, 1), 30, 30); err == nil {
+		t.Error("bad coords should fail")
+	}
+	// Empty section is fine.
+	if progs, err := rf.Positions([]int64{0, 0}, section.MustNew(5, 4, 1), 30, 30); err != nil || progs != nil {
+		t.Errorf("empty section: %v %v", progs, err)
+	}
+}

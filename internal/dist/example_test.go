@@ -1,0 +1,40 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// The decomposition of Figure 1: element 108 of a cyclic(8) distribution
+// over 4 processors has offset 4 in block 3 of processor 1.
+func ExampleLayout_Coords() {
+	l := dist.MustNew(4, 8)
+	row, owner, offset := l.Coords(108)
+	fmt.Printf("element 108: block %d of processor %d, offset %d\n", row, owner, offset)
+	fmt.Printf("local memory address: %d\n", l.Local(108))
+	// Output:
+	// element 108: block 3 of processor 1, offset 4
+	// local memory address: 28
+}
+
+// HPF's block and cyclic distributions are special cases of cyclic(k).
+func ExampleBlock() {
+	b, _ := dist.Block(4, 100) // 100 elements over 4 processors
+	c, _ := dist.Cyclic(4)
+	fmt.Println(b)
+	fmt.Println(c)
+	// Output:
+	// cyclic(25) over 4 procs
+	// cyclic(1) over 4 procs
+}
+
+// Multidimensional arrays distribute each dimension independently.
+func ExampleGrid() {
+	g := dist.MustNewGrid(dist.MustNew(2, 4), dist.MustNew(3, 2))
+	owner := g.Owner([]int64{5, 7})
+	fmt.Printf("element (5,7) lives on grid processor (%d,%d), flat rank %d\n",
+		owner[0], owner[1], g.FlatRank(owner))
+	// Output:
+	// element (5,7) lives on grid processor (1,0), flat rank 3
+}

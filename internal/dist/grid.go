@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/intmath"
+)
+
+// Grid distributes a multidimensional template over a processor grid:
+// one independent Layout per dimension (paper, Section 2: "alignments and
+// distributions of each dimension are independent of one another").
+//
+// Processors are identified both by grid coordinates (one per dimension)
+// and by a flattened rank in row-major order (last dimension fastest).
+type Grid struct {
+	dims []Layout
+}
+
+// NewGrid builds a Grid from per-dimension layouts. At least one dimension
+// is required, and the total processor count must not overflow.
+func NewGrid(dims ...Layout) (*Grid, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("dist: grid needs at least one dimension")
+	}
+	total := int64(1)
+	for _, d := range dims {
+		var err error
+		total, err = intmath.MulChecked(total, d.P())
+		if err != nil {
+			return nil, fmt.Errorf("dist: processor grid too large: %v", err)
+		}
+	}
+	g := &Grid{dims: append([]Layout(nil), dims...)}
+	return g, nil
+}
+
+// MustNewGrid is NewGrid but panics on error.
+func MustNewGrid(dims ...Layout) *Grid {
+	g, err := NewGrid(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Rank returns the number of dimensions.
+func (g *Grid) Rank() int { return len(g.dims) }
+
+// Dim returns the layout of dimension d.
+func (g *Grid) Dim(d int) Layout { return g.dims[d] }
+
+// Procs returns the total number of processors in the grid.
+func (g *Grid) Procs() int64 {
+	total := int64(1)
+	for _, d := range g.dims {
+		total *= d.P()
+	}
+	return total
+}
+
+// Owner returns the grid coordinates of the processor owning the template
+// cell at the given index vector.
+func (g *Grid) Owner(index []int64) []int64 {
+	if len(index) != len(g.dims) {
+		panic("dist: index rank mismatch")
+	}
+	owner := make([]int64, len(index))
+	for d, i := range index {
+		owner[d] = g.dims[d].Owner(i)
+	}
+	return owner
+}
+
+// FlatRank converts grid coordinates to a flattened processor rank
+// (row-major, last dimension fastest).
+func (g *Grid) FlatRank(coords []int64) int64 {
+	if len(coords) != len(g.dims) {
+		panic("dist: coords rank mismatch")
+	}
+	rank := int64(0)
+	for d, c := range coords {
+		if c < 0 || c >= g.dims[d].P() {
+			panic(fmt.Sprintf("dist: coordinate %d out of range [0,%d) in dim %d",
+				c, g.dims[d].P(), d))
+		}
+		rank = rank*g.dims[d].P() + c
+	}
+	return rank
+}
+
+// Coords converts a flattened processor rank back to grid coordinates.
+func (g *Grid) Coords(rank int64) []int64 {
+	coords := make([]int64, len(g.dims))
+	for d := len(g.dims) - 1; d >= 0; d-- {
+		p := g.dims[d].P()
+		coords[d] = rank % p
+		rank /= p
+	}
+	return coords
+}
+
+// Local returns the per-dimension local addresses of the template cell at
+// the given index vector on its owning processor.
+func (g *Grid) Local(index []int64) []int64 {
+	local := make([]int64, len(index))
+	for d, i := range index {
+		local[d] = g.dims[d].Local(i)
+	}
+	return local
+}
+
+// LocalShape returns the per-dimension local array extents on the
+// processor with the given grid coordinates, for a template with the given
+// global extents.
+func (g *Grid) LocalShape(coords, extents []int64) []int64 {
+	shape := make([]int64, len(g.dims))
+	for d := range g.dims {
+		shape[d] = g.dims[d].LocalCount(coords[d], extents[d])
+	}
+	return shape
+}

@@ -1,0 +1,27 @@
+package halo
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+)
+
+// BenchmarkExchange measures a width-1 halo exchange on a 64k-element
+// array over 8 processors (the per-sweep cost of a distributed stencil).
+func BenchmarkExchange(b *testing.B) {
+	layout := dist.MustNew(8, 32)
+	const n = 65536
+	a := hpf.MustNewArray(layout, n)
+	for i := int64(0); i < n; i++ {
+		a.Set(i, float64(i))
+	}
+	m := machine.MustNew(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exchange(m, a, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

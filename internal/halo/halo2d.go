@@ -1,0 +1,189 @@
+package halo
+
+import (
+	"fmt"
+
+	"repro/internal/hpf"
+	"repro/internal/machine"
+)
+
+// Halo2D holds width-1 ghost borders for a block-scattered 2-D array:
+// for every local tile (a k0×k1 block of the cyclic(k0)×cyclic(k1)
+// distribution) the four edge strips of neighboring elements, enabling
+// 5-point stencils to run on local data after one exchange — the 2-D
+// form of the Fortran D overlap areas.
+//
+// Tiles are indexed by (row0, row1), the block-course coordinates per
+// dimension. North/South strips hold the k1 elements above/below the
+// tile; West/East strips the k0 elements beside it. Cells outside the
+// array hold Pad.
+//
+// Each strip has exactly one owning neighbor: the k1 columns of a tile
+// lie within a single dimension-1 block, so the row above the tile
+// belongs entirely to the dimension-0 predecessor (with a course shift at
+// the grid edge) — the exchange is four point-to-point messages per
+// processor, the direct product of two 1-D exchanges.
+type Halo2D struct {
+	Pad          float64
+	k0, k1       int64
+	rows0, rows1 int64
+	north, south [][]float64 // [rank][(row0*rows1+row1)*k1 + j]
+	west, east   [][]float64 // [rank][(row0*rows1+row1)*k0 + i]
+}
+
+// Rows returns the number of tile courses per processor in each dimension.
+func (h *Halo2D) Rows() (rows0, rows1 int64) { return h.rows0, h.rows1 }
+
+// North returns the ghost value directly above local column j of tile
+// (row0, row1) on the given flat rank.
+func (h *Halo2D) North(rank, row0, row1, j int64) float64 {
+	return h.north[rank][(row0*h.rows1+row1)*h.k1+j]
+}
+
+// South returns the ghost value directly below local column j of the tile.
+func (h *Halo2D) South(rank, row0, row1, j int64) float64 {
+	return h.south[rank][(row0*h.rows1+row1)*h.k1+j]
+}
+
+// West returns the ghost value directly left of local row i of the tile.
+func (h *Halo2D) West(rank, row0, row1, i int64) float64 {
+	return h.west[rank][(row0*h.rows1+row1)*h.k0+i]
+}
+
+// East returns the ghost value directly right of local row i of the tile.
+func (h *Halo2D) East(rank, row0, row1, i int64) float64 {
+	return h.east[rank][(row0*h.rows1+row1)*h.k0+i]
+}
+
+// Exchange2D fills width-1 ghost borders for the array with one SPMD
+// neighbor exchange. Both global extents must be positive multiples of
+// the respective dimension's row length (whole tiles only).
+func Exchange2D(m *machine.Machine, a *hpf.Array2D, pad float64) (*Halo2D, error) {
+	g := a.Grid()
+	n0, n1 := a.Dims()
+	l0, l1 := g.Dim(0), g.Dim(1)
+	if n0 == 0 || n0%l0.RowLen() != 0 || n1 == 0 || n1%l1.RowLen() != 0 {
+		return nil, fmt.Errorf("halo: extents %dx%d not positive multiples of row lengths %dx%d",
+			n0, n1, l0.RowLen(), l1.RowLen())
+	}
+	if int64(m.NProcs()) < g.Procs() {
+		return nil, fmt.Errorf("halo: machine has %d procs, need %d", m.NProcs(), g.Procs())
+	}
+	p0, p1 := l0.P(), l1.P()
+	k0, k1 := l0.K(), l1.K()
+	rows0, rows1 := n0/l0.RowLen(), n1/l1.RowLen()
+	nprocs := g.Procs()
+	h := &Halo2D{
+		Pad: pad, k0: k0, k1: k1, rows0: rows0, rows1: rows1,
+		north: make([][]float64, nprocs),
+		south: make([][]float64, nprocs),
+		west:  make([][]float64, nprocs),
+		east:  make([][]float64, nprocs),
+	}
+	for r := int64(0); r < nprocs; r++ {
+		h.north[r] = make([]float64, rows0*rows1*k1)
+		h.south[r] = make([]float64, rows0*rows1*k1)
+		h.west[r] = make([]float64, rows0*rows1*k0)
+		h.east[r] = make([]float64, rows0*rows1*k0)
+	}
+
+	const (
+		tagN = "halo2d.n" // carries last local rows, becomes receiver's north
+		tagS = "halo2d.s" // first local rows -> receiver's south
+		tagW = "halo2d.w" // last local cols -> receiver's west
+		tagE = "halo2d.e" // first local cols -> receiver's east
+	)
+	rank := func(c0, c1 int64) int {
+		return int(g.FlatRank([]int64{c0, c1}))
+	}
+	m.Run(func(proc *machine.Proc) {
+		me := int64(proc.Rank())
+		if me >= nprocs {
+			return
+		}
+		coords := g.Coords(me)
+		c0, c1 := coords[0], coords[1]
+		mem, _, width := a.LocalMem(me)
+		at := func(li, lj int64) float64 { return mem[li*width+lj] }
+
+		// Extract and send edge strips. Down-neighbor needs my LAST local
+		// rows as its north ghosts; up-neighbor my FIRST rows as south;
+		// right-neighbor my LAST columns as west; left-neighbor my FIRST
+		// columns as east.
+		lastRows := make([]float64, rows0*rows1*k1)
+		firstRows := make([]float64, rows0*rows1*k1)
+		lastCols := make([]float64, rows0*rows1*k0)
+		firstCols := make([]float64, rows0*rows1*k0)
+		for r0 := int64(0); r0 < rows0; r0++ {
+			for r1 := int64(0); r1 < rows1; r1++ {
+				b1 := (r0*rows1 + r1) * k1
+				b0 := (r0*rows1 + r1) * k0
+				for j := int64(0); j < k1; j++ {
+					lastRows[b1+j] = at(r0*k0+k0-1, r1*k1+j)
+					firstRows[b1+j] = at(r0*k0, r1*k1+j)
+				}
+				for i := int64(0); i < k0; i++ {
+					lastCols[b0+i] = at(r0*k0+i, r1*k1+k1-1)
+					firstCols[b0+i] = at(r0*k0+i, r1*k1)
+				}
+			}
+		}
+		proc.Send(rank((c0+1)%p0, c1), tagN, lastRows, nil)
+		proc.Send(rank((c0-1+p0)%p0, c1), tagS, firstRows, nil)
+		proc.Send(rank(c0, (c1+1)%p1), tagW, lastCols, nil)
+		proc.Send(rank(c0, (c1-1+p1)%p1), tagE, firstCols, nil)
+
+		// Receive and place, shifting courses at the grid edges exactly as
+		// in the 1-D exchange: processor 0's north neighbor row lives one
+		// course up on processor p0-1.
+		fromN := proc.Recv(rank((c0-1+p0)%p0, c1), tagN).Data
+		fromS := proc.Recv(rank((c0+1)%p0, c1), tagS).Data
+		fromW := proc.Recv(rank(c0, (c1-1+p1)%p1), tagW).Data
+		fromE := proc.Recv(rank(c0, (c1+1)%p1), tagE).Data
+		for r0 := int64(0); r0 < rows0; r0++ {
+			for r1 := int64(0); r1 < rows1; r1++ {
+				b1 := (r0*rows1 + r1) * k1
+				b0 := (r0*rows1 + r1) * k0
+				// North: sender course shifts down by one when I'm the top
+				// processor row.
+				src0 := r0
+				if c0 == 0 {
+					src0 = r0 - 1
+				}
+				if src0 >= 0 {
+					copy(h.north[me][b1:b1+k1], fromN[(src0*rows1+r1)*k1:])
+				} else {
+					fill(h.north[me][b1:b1+k1], pad)
+				}
+				src0 = r0
+				if c0 == p0-1 {
+					src0 = r0 + 1
+				}
+				if src0 < rows0 {
+					copy(h.south[me][b1:b1+k1], fromS[(src0*rows1+r1)*k1:])
+				} else {
+					fill(h.south[me][b1:b1+k1], pad)
+				}
+				src1 := r1
+				if c1 == 0 {
+					src1 = r1 - 1
+				}
+				if src1 >= 0 {
+					copy(h.west[me][b0:b0+k0], fromW[(r0*rows1+src1)*k0:])
+				} else {
+					fill(h.west[me][b0:b0+k0], pad)
+				}
+				src1 = r1
+				if c1 == p1-1 {
+					src1 = r1 + 1
+				}
+				if src1 < rows1 {
+					copy(h.east[me][b0:b0+k0], fromE[(r0*rows1+src1)*k0:])
+				} else {
+					fill(h.east[me][b0:b0+k0], pad)
+				}
+			}
+		}
+	})
+	return h, nil
+}

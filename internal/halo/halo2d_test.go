@@ -1,0 +1,177 @@
+package halo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+)
+
+// checkHalo2D verifies every ghost cell against global indexing.
+func checkHalo2D(t *testing.T, h *Halo2D, a *hpf.Array2D) {
+	t.Helper()
+	g := a.Grid()
+	n0, n1 := a.Dims()
+	l0, l1 := g.Dim(0), g.Dim(1)
+	k0, k1 := l0.K(), l1.K()
+	rows0, rows1 := h.Rows()
+	get := func(i, j int64) float64 {
+		if i < 0 || i >= n0 || j < 0 || j >= n1 {
+			return h.Pad
+		}
+		return a.Get(i, j)
+	}
+	for rank := int64(0); rank < g.Procs(); rank++ {
+		coords := g.Coords(rank)
+		for r0 := int64(0); r0 < rows0; r0++ {
+			top := r0*l0.RowLen() + coords[0]*k0
+			for r1 := int64(0); r1 < rows1; r1++ {
+				left := r1*l1.RowLen() + coords[1]*k1
+				for j := int64(0); j < k1; j++ {
+					if got, want := h.North(rank, r0, r1, j), get(top-1, left+j); got != want {
+						t.Fatalf("North(rank=%d,%d,%d,%d) = %v, want %v", rank, r0, r1, j, got, want)
+					}
+					if got, want := h.South(rank, r0, r1, j), get(top+k0, left+j); got != want {
+						t.Fatalf("South(rank=%d,%d,%d,%d) = %v, want %v", rank, r0, r1, j, got, want)
+					}
+				}
+				for i := int64(0); i < k0; i++ {
+					if got, want := h.West(rank, r0, r1, i), get(top+i, left-1); got != want {
+						t.Fatalf("West(rank=%d,%d,%d,%d) = %v, want %v", rank, r0, r1, i, got, want)
+					}
+					if got, want := h.East(rank, r0, r1, i), get(top+i, left+k1); got != want {
+						t.Fatalf("East(rank=%d,%d,%d,%d) = %v, want %v", rank, r0, r1, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExchange2DBasic(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 3), dist.MustNew(2, 2))
+	a := hpf.MustNewArray2D(g, 12, 8) // 2 courses × 2 courses of tiles
+	n0, n1 := a.Dims()
+	for i := int64(0); i < n0; i++ {
+		for j := int64(0); j < n1; j++ {
+			a.Set(i, j, float64(i*100+j))
+		}
+	}
+	m := machine.MustNew(int(g.Procs()))
+	h, err := Exchange2D(m, a, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0, r1 := h.Rows(); r0 != 2 || r1 != 2 {
+		t.Fatalf("Rows = %d,%d, want 2,2", r0, r1)
+	}
+	checkHalo2D(t, h, a)
+}
+
+func TestExchange2DRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		p0, k0 := r.Int63n(3)+1, r.Int63n(4)+1
+		p1, k1 := r.Int63n(3)+1, r.Int63n(4)+1
+		g := dist.MustNewGrid(dist.MustNew(p0, k0), dist.MustNew(p1, k1))
+		rows0, rows1 := r.Int63n(3)+1, r.Int63n(3)+1
+		a := hpf.MustNewArray2D(g, rows0*p0*k0, rows1*p1*k1)
+		n0, n1 := a.Dims()
+		for i := int64(0); i < n0; i++ {
+			for j := int64(0); j < n1; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+		}
+		m := machine.MustNew(int(g.Procs()))
+		h, err := Exchange2D(m, a, -7)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkHalo2D(t, h, a)
+	}
+}
+
+func TestExchange2DSingleProcessor(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(1, 3), dist.MustNew(1, 2))
+	a := hpf.MustNewArray2D(g, 6, 4)
+	for i := int64(0); i < 6; i++ {
+		for j := int64(0); j < 4; j++ {
+			a.Set(i, j, float64(i*10+j))
+		}
+	}
+	m := machine.MustNew(1)
+	h, err := Exchange2D(m, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHalo2D(t, h, a)
+}
+
+func TestExchange2DValidation(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 2))
+	m := machine.MustNew(4)
+	ragged := hpf.MustNewArray2D(g, 7, 8)
+	if _, err := Exchange2D(m, ragged, 0); err == nil {
+		t.Error("ragged extents should fail")
+	}
+	ok := hpf.MustNewArray2D(g, 8, 8)
+	small := machine.MustNew(2)
+	if _, err := Exchange2D(small, ok, 0); err == nil {
+		t.Error("machine too small should fail")
+	}
+}
+
+// TestExchange2DStencilUse: a 5-point stencil from local memory + halos
+// must match global computation.
+func TestExchange2DStencilUse(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 3))
+	a := hpf.MustNewArray2D(g, 8, 12)
+	n0, n1 := a.Dims()
+	for i := int64(0); i < n0; i++ {
+		for j := int64(0); j < n1; j++ {
+			a.Set(i, j, float64(i*i+j))
+		}
+	}
+	m := machine.MustNew(int(g.Procs()))
+	h, err := Exchange2D(m, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1 := g.Dim(0).K(), g.Dim(1).K()
+	for gi := int64(1); gi < n0-1; gi++ {
+		for gj := int64(1); gj < n1-1; gj++ {
+			rank := g.FlatRank([]int64{g.Dim(0).Owner(gi), g.Dim(1).Owner(gj)})
+			mem, _, width := a.LocalMem(rank)
+			li, lj := g.Dim(0).Local(gi), g.Dim(1).Local(gj)
+			r0, r1 := li/k0, lj/k1
+			oi, oj := li%k0, lj%k1
+			var up, down, left, right float64
+			if oi > 0 {
+				up = mem[(li-1)*width+lj]
+			} else {
+				up = h.North(rank, r0, r1, oj)
+			}
+			if oi < k0-1 {
+				down = mem[(li+1)*width+lj]
+			} else {
+				down = h.South(rank, r0, r1, oj)
+			}
+			if oj > 0 {
+				left = mem[li*width+lj-1]
+			} else {
+				left = h.West(rank, r0, r1, oi)
+			}
+			if oj < k1-1 {
+				right = mem[li*width+lj+1]
+			} else {
+				right = h.East(rank, r0, r1, oi)
+			}
+			want := a.Get(gi-1, gj) + a.Get(gi+1, gj) + a.Get(gi, gj-1) + a.Get(gi, gj+1)
+			if got := up + down + left + right; got != want {
+				t.Fatalf("stencil at (%d,%d): %v, want %v", gi, gj, got, want)
+			}
+		}
+	}
+}

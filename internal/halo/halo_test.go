@@ -1,0 +1,177 @@
+package halo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+)
+
+const pad = -999.0
+
+// checkHalo verifies every ghost cell against the global array.
+func checkHalo(t *testing.T, h *Halo, a *hpf.Array, w int64) {
+	t.Helper()
+	layout := a.Layout()
+	p, k, pk := layout.P(), layout.K(), layout.RowLen()
+	for m := int64(0); m < p; m++ {
+		for row := int64(0); row < h.Rows(); row++ {
+			start := row*pk + m*k
+			end := start + k - 1
+			for j := int64(1); j <= w; j++ {
+				want := pad
+				if g := start - j; g >= 0 {
+					want = a.Get(g)
+				}
+				if got := h.Left(m, row, j); got != want {
+					t.Fatalf("Left(m=%d,row=%d,j=%d) = %v, want %v", m, row, j, got, want)
+				}
+				want = pad
+				if g := end + j; g < a.N() {
+					want = a.Get(g)
+				}
+				if got := h.Right(m, row, j); got != want {
+					t.Fatalf("Right(m=%d,row=%d,j=%d) = %v, want %v", m, row, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeBasic(t *testing.T) {
+	layout := dist.MustNew(4, 8)
+	a := hpf.MustNewArray(layout, 320)
+	for i := int64(0); i < 320; i++ {
+		a.Set(i, float64(i))
+	}
+	m := machine.MustNew(4)
+	h, err := Exchange(m, a, 1, pad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 10 {
+		t.Fatalf("Rows = %d, want 10", h.Rows())
+	}
+	checkHalo(t, h, a, 1)
+}
+
+func TestExchangeRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 120; trial++ {
+		p := r.Int63n(6) + 1
+		k := r.Int63n(8) + 1
+		rows := r.Int63n(5) + 1
+		n := rows * p * k
+		a := hpf.MustNewArray(dist.MustNew(p, k), n)
+		for i := int64(0); i < n; i++ {
+			a.Set(i, float64(i)*1.5+1)
+		}
+		w := r.Int63n(k) + 1
+		m := machine.MustNew(int(p))
+		h, err := Exchange(m, a, w, pad)
+		if err != nil {
+			t.Fatalf("trial %d (p=%d k=%d rows=%d w=%d): %v", trial, p, k, rows, w, err)
+		}
+		checkHalo(t, h, a, w)
+	}
+}
+
+func TestExchangeSingleProcessor(t *testing.T) {
+	// p = 1: every neighbor is the processor itself.
+	a := hpf.MustNewArray(dist.MustNew(1, 4), 16)
+	for i := int64(0); i < 16; i++ {
+		a.Set(i, float64(i))
+	}
+	m := machine.MustNew(1)
+	h, err := Exchange(m, a, 2, pad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHalo(t, h, a, 2)
+}
+
+func TestExchangeValidation(t *testing.T) {
+	layout := dist.MustNew(2, 4)
+	a := hpf.MustNewArray(layout, 16)
+	m := machine.MustNew(2)
+	if _, err := Exchange(m, a, 0, 0); err == nil {
+		t.Error("w=0 should fail")
+	}
+	if _, err := Exchange(m, a, 5, 0); err == nil {
+		t.Error("w > k should fail")
+	}
+	ragged := hpf.MustNewArray(layout, 15)
+	if _, err := Exchange(m, ragged, 1, 0); err == nil {
+		t.Error("ragged array should fail")
+	}
+	small := machine.MustNew(1)
+	if _, err := Exchange(small, a, 1, 0); err == nil {
+		t.Error("machine too small should fail")
+	}
+}
+
+func TestHaloAccessorPanics(t *testing.T) {
+	a := hpf.MustNewArray(dist.MustNew(2, 4), 16)
+	m := machine.MustNew(2)
+	h, err := Exchange(m, a, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []func(){
+		func() { h.Left(0, 0, 0) },
+		func() { h.Left(0, 0, 3) },
+		func() { h.Right(0, 0, 0) },
+		func() { h.Right(0, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range halo access should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestHaloStencilUse demonstrates the point of the halo: a 3-point
+// stencil computed purely from local memory + ghosts must match the
+// global computation.
+func TestHaloStencilUse(t *testing.T) {
+	layout := dist.MustNew(4, 4)
+	const n = 64
+	a := hpf.MustNewArray(layout, n)
+	for i := int64(0); i < n; i++ {
+		a.Set(i, float64(i*i))
+	}
+	m := machine.MustNew(4)
+	h, err := Exchange(m, a, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every interior element, left + right via local memory + halo.
+	k := layout.K()
+	for i := int64(1); i < n-1; i++ {
+		mm := layout.Owner(i)
+		mem := a.LocalMem(mm)
+		row := layout.Row(i)
+		off := layout.Offset(i)
+		var left, right float64
+		if off > 0 {
+			left = mem[row*k+off-1]
+		} else {
+			left = h.Left(mm, row, 1)
+		}
+		if off < k-1 {
+			right = mem[row*k+off+1]
+		} else {
+			right = h.Right(mm, row, 1)
+		}
+		want := a.Get(i-1) + a.Get(i+1)
+		if got := left + right; got != want {
+			t.Fatalf("stencil at %d: %v, want %v", i, got, want)
+		}
+	}
+}

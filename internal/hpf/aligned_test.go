@@ -1,0 +1,149 @@
+package hpf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+func mustAligned(t *testing.T, p, k, a, b, n int64) *AlignedArray {
+	t.Helper()
+	m, err := align.NewMap(dist.MustNew(p, k), align.Alignment{A: a, B: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := NewAlignedArray(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestAlignedGetSetRoundTrip(t *testing.T) {
+	arr := mustAligned(t, 3, 4, 2, 5, 100)
+	for i := int64(0); i < 100; i++ {
+		arr.Set(i, float64(i)+0.25)
+	}
+	for i := int64(0); i < 100; i++ {
+		if got := arr.Get(i); got != float64(i)+0.25 {
+			t.Fatalf("Get(%d) = %v", i, got)
+		}
+	}
+	// Total local storage equals the array size (packed, no holes).
+	var total int
+	for m := int64(0); m < 3; m++ {
+		total += len(arr.LocalMem(m))
+	}
+	if total != 100 {
+		t.Errorf("total local storage %d, want 100", total)
+	}
+}
+
+func TestAlignedIdentityMatchesArray(t *testing.T) {
+	// Identity alignment must behave exactly like a directly distributed
+	// Array.
+	layout := dist.MustNew(4, 8)
+	m, _ := align.NewMap(layout, align.Identity)
+	arr, err := NewAlignedArray(m, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustNewArray(layout, 320)
+	for i := int64(0); i < 320; i++ {
+		arr.Set(i, float64(i))
+		plain.Set(i, float64(i))
+	}
+	for proc := int64(0); proc < 4; proc++ {
+		if !reflect.DeepEqual(arr.LocalMem(proc), plain.LocalMem(proc)) {
+			t.Errorf("proc %d: aligned local memory differs from plain", proc)
+		}
+	}
+}
+
+func TestAlignedFillSection(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 150; trial++ {
+		p := r.Int63n(4) + 1
+		k := r.Int63n(6) + 1
+		a := r.Int63n(5) + 1
+		b := r.Int63n(10)
+		n := r.Int63n(150) + 10
+		arr := mustAligned(t, p, k, a, b, n)
+
+		s := r.Int63n(6) + 1
+		lo := r.Int63n(n)
+		hi := min(n-1, lo+r.Int63n(4*s+10))
+		if r.Intn(3) == 0 {
+			lo, hi, s = hi, lo, -s
+		}
+		sec := section.Section{Lo: lo, Hi: hi, Stride: s}
+		if err := arr.FillSection(sec, 9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dense := arr.Gather()
+		for i := int64(0); i < n; i++ {
+			want := 0.0
+			if sec.Contains(i) {
+				want = 9
+			}
+			if dense[i] != want {
+				t.Fatalf("trial %d (p=%d k=%d a=%d b=%d sec=%v): element %d = %v, want %v",
+					trial, p, k, a, b, sec, i, dense[i], want)
+			}
+		}
+	}
+}
+
+func TestAlignedSumSection(t *testing.T) {
+	arr := mustAligned(t, 3, 5, 3, 1, 80)
+	for i := int64(0); i < 80; i++ {
+		arr.Set(i, float64(i))
+	}
+	sec := section.MustNew(2, 78, 7)
+	got, err := arr.SumSection(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, g := range sec.Slice() {
+		want += float64(g)
+	}
+	if got != want {
+		t.Errorf("SumSection = %v, want %v", got, want)
+	}
+	// Empty section sums to zero.
+	if v, err := arr.SumSection(section.MustNew(5, 4, 1)); err != nil || v != 0 {
+		t.Errorf("empty sum = %v, %v", v, err)
+	}
+}
+
+func TestAlignedValidation(t *testing.T) {
+	m, _ := align.NewMap(dist.MustNew(2, 2), align.Identity)
+	if _, err := NewAlignedArray(m, -1); err == nil {
+		t.Error("negative size should fail")
+	}
+	// Alignment mapping element 0 to a negative cell.
+	neg, _ := align.NewMap(dist.MustNew(2, 2), align.Alignment{A: 1, B: -5})
+	if _, err := NewAlignedArray(neg, 3); err == nil {
+		t.Error("negative cells should fail")
+	}
+	arr := mustAligned(t, 2, 2, 1, 0, 10)
+	if err := arr.FillSection(section.MustNew(0, 10, 1), 0); err == nil {
+		t.Error("out-of-bounds fill should fail")
+	}
+	if _, err := arr.SumSection(section.MustNew(-1, 5, 1)); err == nil {
+		t.Error("out-of-bounds sum should fail")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Get out of range should panic")
+			}
+		}()
+		arr.Get(10)
+	}()
+}

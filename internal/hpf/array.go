@@ -1,0 +1,257 @@
+// Package hpf provides the distributed-array runtime that the paper's
+// address-generation routines plug into: HPF-style arrays partitioned
+// over simulated processors with cyclic(k) distributions, and the
+// section-level operations (fill, gather, pointwise update) that
+// generated node code performs.
+//
+// An Array's storage is physically split into one packed local memory per
+// processor, exactly as an HPF compiler would lay it out (paper,
+// Section 1: "an array A distributed with a cyclic(k) distribution is
+// effectively split into p subarrays, each being local to one
+// processor"). Section operations never touch a global dense copy; they
+// run per-processor through the AM tables of package core and the node
+// code shapes of package codegen.
+package hpf
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+// Array is a one-dimensional distributed array of float64.
+type Array struct {
+	layout dist.Layout
+	n      int64
+	local  [][]float64 // local[m] is processor m's packed memory
+}
+
+// NewArray allocates an n-element array distributed by layout. Local
+// segments are zero-initialized.
+func NewArray(layout dist.Layout, n int64) (*Array, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hpf: negative array size %d", n)
+	}
+	a := &Array{layout: layout, n: n}
+	a.local = make([][]float64, layout.P())
+	for m := int64(0); m < layout.P(); m++ {
+		a.local[m] = make([]float64, layout.LocalCount(m, n))
+	}
+	return a, nil
+}
+
+// MustNewArray is NewArray but panics on error.
+func MustNewArray(layout dist.Layout, n int64) *Array {
+	a, err := NewArray(layout, n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// N returns the global array length.
+func (a *Array) N() int64 { return a.n }
+
+// Layout returns the array's distribution.
+func (a *Array) Layout() dist.Layout { return a.layout }
+
+// LocalMem returns processor m's packed local memory. The slice aliases
+// the array's storage; node code writes through it.
+func (a *Array) LocalMem(m int64) []float64 { return a.local[m] }
+
+// checkIndex panics on out-of-range access, like a Fortran bounds check.
+func (a *Array) checkIndex(i int64) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("hpf: index %d out of range [0, %d)", i, a.n))
+	}
+}
+
+// Get reads element i through the distribution.
+func (a *Array) Get(i int64) float64 {
+	a.checkIndex(i)
+	return a.local[a.layout.Owner(i)][a.layout.Local(i)]
+}
+
+// Set writes element i through the distribution.
+func (a *Array) Set(i int64, v float64) {
+	a.checkIndex(i)
+	a.local[a.layout.Owner(i)][a.layout.Local(i)] = v
+}
+
+// Gather copies the array into a dense global slice (for verification and
+// I/O; distributed computations never need it).
+func (a *Array) Gather() []float64 {
+	out := make([]float64, a.n)
+	for i := int64(0); i < a.n; i++ {
+		out[i] = a.Get(i)
+	}
+	return out
+}
+
+// FillAll sets every element to v.
+func (a *Array) FillAll(v float64) {
+	for _, mem := range a.local {
+		for i := range mem {
+			mem[i] = v
+		}
+	}
+}
+
+// sectionPlan describes the per-processor node loop for a section of this
+// array: the core problem, local start/last addresses and the AM table.
+type sectionPlan struct {
+	start, last int64 // local addresses; start == -1 means nothing to do
+	gaps        []int64
+	count       int64
+	problem     core.Problem
+}
+
+// planSection builds the node-loop plan for processor m over the section
+// (normalized to ascending order; fill-type operations are order
+// independent). The section must lie within array bounds.
+func (a *Array) planSection(sec section.Section, m int64) (sectionPlan, error) {
+	asc, _ := sec.Ascending()
+	if asc.Empty() {
+		return sectionPlan{start: -1, last: -1}, nil
+	}
+	if asc.Lo < 0 || asc.Last() >= a.n {
+		return sectionPlan{}, fmt.Errorf("hpf: section %v outside array [0, %d)", sec, a.n)
+	}
+	pr := core.Problem{P: a.layout.P(), K: a.layout.K(), L: asc.Lo, S: asc.Stride, M: m}
+	u := asc.Last()
+	count, err := pr.Count(u)
+	if err != nil {
+		return sectionPlan{}, err
+	}
+	if count == 0 {
+		return sectionPlan{start: -1, last: -1}, nil
+	}
+	seq, err := core.Lattice(pr)
+	if err != nil {
+		return sectionPlan{}, err
+	}
+	lastGlobal, err := pr.Last(u)
+	if err != nil {
+		return sectionPlan{}, err
+	}
+	return sectionPlan{
+		start:   seq.StartLocal,
+		last:    a.layout.Local(lastGlobal),
+		gaps:    seq.Gaps,
+		count:   count,
+		problem: pr,
+	}, nil
+}
+
+// FillSection performs the array assignment A(sec) = v, running the
+// Figure 8(b) node loop independently on every processor's local memory.
+func (a *Array) FillSection(sec section.Section, v float64) error {
+	for m := int64(0); m < a.layout.P(); m++ {
+		plan, err := a.planSection(sec, m)
+		if err != nil {
+			return err
+		}
+		if plan.start < 0 {
+			continue
+		}
+		wrote := codegen.ShapeB(a.local[m], plan.start, plan.last, plan.gaps, v)
+		if wrote != plan.count {
+			return fmt.Errorf("hpf: internal: wrote %d of %d elements on proc %d",
+				wrote, plan.count, m)
+		}
+	}
+	return nil
+}
+
+// MapSection applies f to every element of A(sec) in place:
+// A(sec) = f(A(sec)). Order independent.
+func (a *Array) MapSection(sec section.Section, f func(float64) float64) error {
+	for m := int64(0); m < a.layout.P(); m++ {
+		plan, err := a.planSection(sec, m)
+		if err != nil {
+			return err
+		}
+		if plan.start < 0 {
+			continue
+		}
+		mem := a.local[m]
+		base := plan.start
+		i := 0
+		for n := int64(0); n < plan.count; n++ {
+			mem[base] = f(mem[base])
+			base += plan.gaps[i]
+			i++
+			if i == len(plan.gaps) {
+				i = 0
+			}
+		}
+	}
+	return nil
+}
+
+// SumSection returns the sum over A(sec), computed per processor through
+// the access sequence and combined.
+func (a *Array) SumSection(sec section.Section) (float64, error) {
+	var total float64
+	for m := int64(0); m < a.layout.P(); m++ {
+		plan, err := a.planSection(sec, m)
+		if err != nil {
+			return 0, err
+		}
+		if plan.start < 0 {
+			continue
+		}
+		mem := a.local[m]
+		base := plan.start
+		i := 0
+		for n := int64(0); n < plan.count; n++ {
+			total += mem[base]
+			base += plan.gaps[i]
+			i++
+			if i == len(plan.gaps) {
+				i = 0
+			}
+		}
+	}
+	return total, nil
+}
+
+// GatherSection copies A(sec) into a dense slice in traversal order
+// (respecting descending sections).
+func (a *Array) GatherSection(sec section.Section) ([]float64, error) {
+	n := sec.Count()
+	out := make([]float64, 0, n)
+	if n == 0 {
+		return out, nil
+	}
+	asc, _ := sec.Ascending()
+	if asc.Lo < 0 || asc.Last() >= a.n {
+		return nil, fmt.Errorf("hpf: section %v outside array [0, %d)", sec, a.n)
+	}
+	for j := int64(0); j < n; j++ {
+		out = append(out, a.Get(sec.Element(j)))
+	}
+	return out, nil
+}
+
+// ScatterSection writes a dense slice into A(sec) in traversal order.
+func (a *Array) ScatterSection(sec section.Section, vals []float64) error {
+	n := sec.Count()
+	if int64(len(vals)) != n {
+		return fmt.Errorf("hpf: scatter length %d != section count %d", len(vals), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	asc, _ := sec.Ascending()
+	if asc.Lo < 0 || asc.Last() >= a.n {
+		return fmt.Errorf("hpf: section %v outside array [0, %d)", sec, a.n)
+	}
+	for j := int64(0); j < n; j++ {
+		a.Set(sec.Element(j), vals[j])
+	}
+	return nil
+}

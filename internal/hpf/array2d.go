@@ -1,0 +1,131 @@
+package hpf
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Array2D is a two-dimensional distributed array over a processor grid,
+// with independent cyclic(k) distributions per dimension (paper,
+// Section 2). This is the "block scattered" decomposition of Dongarra,
+// van de Geijn & Walker that the paper cites as the motivating use of
+// cyclic(k) in dense linear algebra.
+//
+// Each grid processor stores its owned elements as a dense row-major
+// local matrix whose rows/columns are the packed local indices of the two
+// dimensions.
+type Array2D struct {
+	grid   *dist.Grid
+	n0, n1 int64
+	// local[flatRank] is a row-major localRows×localCols matrix.
+	local     [][]float64
+	localCols []int64
+	localRows []int64
+}
+
+// NewArray2D allocates an n0×n1 array distributed over a rank-2 grid.
+func NewArray2D(grid *dist.Grid, n0, n1 int64) (*Array2D, error) {
+	if grid.Rank() != 2 {
+		return nil, fmt.Errorf("hpf: Array2D needs a rank-2 grid, got rank %d", grid.Rank())
+	}
+	if n0 < 0 || n1 < 0 {
+		return nil, fmt.Errorf("hpf: negative extents %d×%d", n0, n1)
+	}
+	a := &Array2D{grid: grid, n0: n0, n1: n1}
+	nprocs := grid.Procs()
+	a.local = make([][]float64, nprocs)
+	a.localRows = make([]int64, nprocs)
+	a.localCols = make([]int64, nprocs)
+	for r := int64(0); r < nprocs; r++ {
+		coords := grid.Coords(r)
+		rows := grid.Dim(0).LocalCount(coords[0], n0)
+		cols := grid.Dim(1).LocalCount(coords[1], n1)
+		a.localRows[r] = rows
+		a.localCols[r] = cols
+		a.local[r] = make([]float64, rows*cols)
+	}
+	return a, nil
+}
+
+// MustNewArray2D is NewArray2D but panics on error.
+func MustNewArray2D(grid *dist.Grid, n0, n1 int64) *Array2D {
+	a, err := NewArray2D(grid, n0, n1)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Dims returns the global extents.
+func (a *Array2D) Dims() (n0, n1 int64) { return a.n0, a.n1 }
+
+// Grid returns the processor grid.
+func (a *Array2D) Grid() *dist.Grid { return a.grid }
+
+// ownerRank returns the flat rank owning element (i, j).
+func (a *Array2D) ownerRank(i, j int64) int64 {
+	return a.grid.FlatRank([]int64{a.grid.Dim(0).Owner(i), a.grid.Dim(1).Owner(j)})
+}
+
+func (a *Array2D) checkIndex(i, j int64) {
+	if i < 0 || i >= a.n0 || j < 0 || j >= a.n1 {
+		panic(fmt.Sprintf("hpf: index (%d,%d) out of range %d×%d", i, j, a.n0, a.n1))
+	}
+}
+
+// Get reads element (i, j) through the distribution.
+func (a *Array2D) Get(i, j int64) float64 {
+	a.checkIndex(i, j)
+	r := a.ownerRank(i, j)
+	li := a.grid.Dim(0).Local(i)
+	lj := a.grid.Dim(1).Local(j)
+	return a.local[r][li*a.localCols[r]+lj]
+}
+
+// Set writes element (i, j) through the distribution.
+func (a *Array2D) Set(i, j int64, v float64) {
+	a.checkIndex(i, j)
+	r := a.ownerRank(i, j)
+	li := a.grid.Dim(0).Local(i)
+	lj := a.grid.Dim(1).Local(j)
+	a.local[r][li*a.localCols[r]+lj] = v
+}
+
+// LocalMem returns flat-rank r's local matrix and its dimensions.
+func (a *Array2D) LocalMem(r int64) (mem []float64, rows, cols int64) {
+	return a.local[r], a.localRows[r], a.localCols[r]
+}
+
+// LocalDomain returns, for flat rank r, the global indices owned in each
+// dimension in increasing order — the loop bounds generated node code
+// iterates over.
+func (a *Array2D) LocalDomain(r int64) (rowIdx, colIdx []int64) {
+	coords := a.grid.Coords(r)
+	rowIdx = ownedIndices(a.grid.Dim(0), coords[0], a.n0)
+	colIdx = ownedIndices(a.grid.Dim(1), coords[1], a.n1)
+	return rowIdx, colIdx
+}
+
+// ownedIndices lists the global indices in [0, n) owned by processor m of
+// a layout, in increasing order.
+func ownedIndices(l dist.Layout, m, n int64) []int64 {
+	out := make([]int64, 0, l.LocalCount(m, n))
+	for base := l.BlockStart(m, 0); base < n; base += l.RowLen() {
+		for off := int64(0); off < l.K() && base+off < n; off++ {
+			out = append(out, base+off)
+		}
+	}
+	return out
+}
+
+// Gather copies the array into a dense row-major global matrix.
+func (a *Array2D) Gather() []float64 {
+	out := make([]float64, a.n0*a.n1)
+	for i := int64(0); i < a.n0; i++ {
+		for j := int64(0); j < a.n1; j++ {
+			out[i*a.n1+j] = a.Get(i, j)
+		}
+	}
+	return out
+}

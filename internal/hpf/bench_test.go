@@ -1,0 +1,32 @@
+package hpf
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+// BenchmarkFillSection measures a strided distributed fill through the
+// AM-table node code (tables constructed per call, as at run time).
+func BenchmarkFillSection(b *testing.B) {
+	a := MustNewArray(dist.MustNew(32, 64), 1<<20)
+	sec := section.MustNew(5, 1<<20-1, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.FillSection(sec, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetSet measures single-element access through the
+// distribution (the slow path node code avoids).
+func BenchmarkGetSet(b *testing.B) {
+	a := MustNewArray(dist.MustNew(32, 64), 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := int64(i) % (1 << 20)
+		a.Set(idx, a.Get(idx)+1)
+	}
+}

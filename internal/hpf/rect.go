@@ -1,0 +1,64 @@
+package hpf
+
+import (
+	"fmt"
+
+	"repro/internal/md"
+	"repro/internal/section"
+)
+
+// FillRect performs the multidimensional array assignment A(rect) = v:
+// each processor sweeps exactly its owned section elements through the
+// per-dimension access plans of package md (the Section 2 reduction of
+// the multidimensional problem to one-dimensional applications).
+func (a *Array2D) FillRect(rect section.Rect, v float64) error {
+	if rect.Rank() != 2 {
+		return fmt.Errorf("hpf: FillRect needs a rank-2 section, got %d", rect.Rank())
+	}
+	extents := []int64{a.n0, a.n1}
+	for r := int64(0); r < a.grid.Procs(); r++ {
+		plan, err := md.NewPlan(a.grid, a.grid.Coords(r), extents, rect)
+		if err != nil {
+			return err
+		}
+		mem := a.local[r]
+		plan.Each(func(lin int64) { mem[lin] = v })
+	}
+	return nil
+}
+
+// SumRect returns the sum over A(rect), accumulated per processor through
+// the access plans.
+func (a *Array2D) SumRect(rect section.Rect) (float64, error) {
+	if rect.Rank() != 2 {
+		return 0, fmt.Errorf("hpf: SumRect needs a rank-2 section, got %d", rect.Rank())
+	}
+	extents := []int64{a.n0, a.n1}
+	var total float64
+	for r := int64(0); r < a.grid.Procs(); r++ {
+		plan, err := md.NewPlan(a.grid, a.grid.Coords(r), extents, rect)
+		if err != nil {
+			return 0, err
+		}
+		mem := a.local[r]
+		plan.Each(func(lin int64) { total += mem[lin] })
+	}
+	return total, nil
+}
+
+// MapRect applies f in place to every element of A(rect).
+func (a *Array2D) MapRect(rect section.Rect, f func(float64) float64) error {
+	if rect.Rank() != 2 {
+		return fmt.Errorf("hpf: MapRect needs a rank-2 section, got %d", rect.Rank())
+	}
+	extents := []int64{a.n0, a.n1}
+	for r := int64(0); r < a.grid.Procs(); r++ {
+		plan, err := md.NewPlan(a.grid, a.grid.Coords(r), extents, rect)
+		if err != nil {
+			return err
+		}
+		mem := a.local[r]
+		plan.Each(func(lin int64) { mem[lin] = f(mem[lin]) })
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package hpf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+func TestFillRectAgainstDense(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 120; trial++ {
+		g := dist.MustNewGrid(
+			dist.MustNew(r.Int63n(3)+1, r.Int63n(4)+1),
+			dist.MustNew(r.Int63n(3)+1, r.Int63n(4)+1),
+		)
+		n0 := r.Int63n(25) + 5
+		n1 := r.Int63n(25) + 5
+		a := MustNewArray2D(g, n0, n1)
+		dense := make([]float64, n0*n1)
+
+		mkSec := func(n int64) section.Section {
+			s := r.Int63n(4) + 1
+			lo := r.Int63n(n)
+			hi := min(n-1, lo+r.Int63n(2*s+8))
+			if r.Intn(3) == 0 {
+				return section.Section{Lo: hi, Hi: lo, Stride: -s}
+			}
+			return section.Section{Lo: lo, Hi: hi, Stride: s}
+		}
+		rect, err := section.NewRect(mkSec(n0), mkSec(n1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.FillRect(rect, 3); err != nil {
+			t.Fatalf("trial %d rect %v: %v", trial, rect, err)
+		}
+		for idx := range rect.All() {
+			dense[idx[0]*n1+idx[1]] = 3
+		}
+		got := a.Gather()
+		for i := range dense {
+			if got[i] != dense[i] {
+				t.Fatalf("trial %d rect %v: cell %d = %v, want %v",
+					trial, rect, i, got[i], dense[i])
+			}
+		}
+	}
+}
+
+func TestSumRect(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 3))
+	a := MustNewArray2D(g, 12, 14)
+	for i := int64(0); i < 12; i++ {
+		for j := int64(0); j < 14; j++ {
+			a.Set(i, j, float64(i*100+j))
+		}
+	}
+	rect, _ := section.NewRect(section.MustNew(1, 11, 2), section.MustNew(0, 13, 3))
+	got, err := a.SumRect(rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for idx := range rect.All() {
+		want += a.Get(idx[0], idx[1])
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("SumRect = %v, want %v", got, want)
+	}
+}
+
+func TestMapRect(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 1), dist.MustNew(2, 2))
+	a := MustNewArray2D(g, 8, 8)
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 8; j++ {
+			a.Set(i, j, 1)
+		}
+	}
+	rect, _ := section.NewRect(section.MustNew(0, 7, 2), section.MustNew(1, 7, 2))
+	if err := a.MapRect(rect, func(x float64) float64 { return x + 10 }); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 8; j++ {
+			want := 1.0
+			if i%2 == 0 && j%2 == 1 {
+				want = 11
+			}
+			if got := a.Get(i, j); got != want {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestRectRankValidation(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 2))
+	a := MustNewArray2D(g, 8, 8)
+	rect1, _ := section.NewRect(section.MustNew(0, 7, 1))
+	if err := a.FillRect(rect1, 0); err == nil {
+		t.Error("rank-1 rect should fail")
+	}
+	if _, err := a.SumRect(rect1); err == nil {
+		t.Error("rank-1 rect should fail")
+	}
+	if err := a.MapRect(rect1, func(x float64) float64 { return x }); err == nil {
+		t.Error("rank-1 rect should fail")
+	}
+	rectOOB, _ := section.NewRect(section.MustNew(0, 8, 1), section.MustNew(0, 7, 1))
+	if err := a.FillRect(rectOOB, 0); err == nil {
+		t.Error("out-of-bounds rect should fail")
+	}
+}

@@ -1,0 +1,294 @@
+// Package intmath provides the integer arithmetic underlying block-cyclic
+// address generation: Euclidean (floor-style, always-nonnegative-remainder)
+// division, greatest common divisors, the extended Euclidean algorithm, and
+// solvers for linear Diophantine equations and congruences.
+//
+// All routines operate on int64 and are deterministic. Where intermediate
+// products could overflow (e.g. solving a·x ≡ b (mod n) with large a, n),
+// the checked variants report an error instead of silently wrapping.
+package intmath
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow is returned by checked arithmetic when a result does not fit
+// in an int64.
+var ErrOverflow = errors.New("intmath: arithmetic overflow")
+
+// FloorDiv returns the quotient of a divided by b, rounded toward negative
+// infinity. It panics if b == 0.
+//
+// Unlike Go's native division, which truncates toward zero,
+// FloorDiv(-7, 2) == -4.
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// FloorMod returns a - FloorDiv(a, b)*b. The result has the same sign as b
+// (and is zero when b divides a). It panics if b == 0.
+//
+// For positive b this is the mathematician's "mod": the result lies in
+// [0, b). FloorMod(-7, 32) == 25.
+func FloorMod(a, b int64) int64 {
+	r := a % b
+	if r != 0 && ((r < 0) != (b < 0)) {
+		r += b
+	}
+	return r
+}
+
+// CeilDiv returns the quotient of a divided by b, rounded toward positive
+// infinity. It panics if b == 0.
+func CeilDiv(a, b int64) int64 {
+	return -FloorDiv(-a, b)
+}
+
+// Abs returns the absolute value of a. Abs(math.MinInt64) overflows and
+// panics.
+func Abs(a int64) int64 {
+	if a == minInt64 {
+		panic("intmath: Abs(math.MinInt64) overflows")
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// GCD returns the greatest common divisor of a and b. The result is always
+// nonnegative; GCD(0, 0) == 0.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, or an error if the
+// result overflows int64. LCM(0, x) == 0.
+func LCM(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	g := GCD(a, b)
+	q := Abs(a) / g
+	return MulChecked(q, Abs(b))
+}
+
+// ExtGCD runs the extended Euclidean algorithm. It returns d = GCD(a, b)
+// and Bézout coefficients x, y satisfying a·x + b·y = d.
+//
+// The coefficients follow the classical recursive construction (CLR
+// Introduction to Algorithms, the paper's reference [5]): for a, b > 0 the
+// returned x satisfies |x| ≤ b/(2d) and |y| ≤ a/(2d), so no intermediate
+// value overflows when a and b fit in int64.
+func ExtGCD(a, b int64) (d, x, y int64) {
+	// Iterative form of the textbook recursion, tracking coefficient pairs.
+	oldR, r := a, b
+	oldX, xx := int64(1), int64(0)
+	oldY, yy := int64(0), int64(1)
+	for r != 0 {
+		q := oldR / r
+		oldR, r = r, oldR-q*r
+		oldX, xx = xx, oldX-q*xx
+		oldY, yy = yy, oldY-q*yy
+	}
+	d, x, y = oldR, oldX, oldY
+	if d < 0 {
+		d, x, y = -d, -x, -y
+	}
+	return d, x, y
+}
+
+// MulChecked returns a*b, or ErrOverflow if the product does not fit in an
+// int64.
+func MulChecked(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	p := a * b
+	if p/b != a || (a == minInt64 && b == -1) {
+		return 0, fmt.Errorf("%w: %d * %d", ErrOverflow, a, b)
+	}
+	return p, nil
+}
+
+// AddChecked returns a+b, or ErrOverflow if the sum does not fit in an
+// int64.
+func AddChecked(a, b int64) (int64, error) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, fmt.Errorf("%w: %d + %d", ErrOverflow, a, b)
+	}
+	return s, nil
+}
+
+// MulMod returns (a*b) mod n using FloorMod semantics (result in [0, n) for
+// n > 0). It requires n > 0 and reduces its operands first; it is safe from
+// overflow whenever n ≤ 3 037 000 499 (√maxInt64). For larger moduli use
+// MulModBig.
+func MulMod(a, b, n int64) int64 {
+	if n <= 0 {
+		panic("intmath: MulMod with nonpositive modulus")
+	}
+	a = FloorMod(a, n)
+	b = FloorMod(b, n)
+	return FloorMod(a*b, n)
+}
+
+// MulModAuto returns (a*b) mod n (FloorMod semantics, n > 0), choosing
+// the overflow-safe doubling implementation only when n² does not fit in
+// an int64. This is the right default for address-generation hot paths,
+// where n = pk/d is almost always small.
+func MulModAuto(a, b, n int64) int64 {
+	if n < 3037000499 { // floor(sqrt(maxInt64))
+		return FloorMod(FloorMod(a, n)*FloorMod(b, n), n)
+	}
+	return MulModBig(a, b, n)
+}
+
+// MulModBig returns (a*b) mod n without intermediate overflow for any
+// n > 0, using Russian-peasant doubling. It is slower than MulMod but safe
+// for the full int64 range.
+func MulModBig(a, b, n int64) int64 {
+	if n <= 0 {
+		panic("intmath: MulModBig with nonpositive modulus")
+	}
+	a = FloorMod(a, n)
+	b = FloorMod(b, n)
+	var acc int64
+	for b > 0 {
+		if b&1 == 1 {
+			acc += a - n
+			if acc < 0 {
+				acc += n
+			}
+		}
+		a += a - n
+		if a < 0 {
+			a += n
+		}
+		b >>= 1
+	}
+	return acc
+}
+
+// Diophantine describes the solution set of a linear Diophantine equation
+// a·x + b·y = c: X0, Y0 is one particular solution and the full set is
+// { (X0 + t·StepX, Y0 - t·StepY) : t ∈ Z }.
+type Diophantine struct {
+	X0, Y0       int64
+	StepX, StepY int64
+}
+
+// SolveDiophantine solves a·x + b·y = c over the integers. It reports
+// ok = false when no solution exists (c not divisible by GCD(a, b)) and
+// errors when a == b == 0 with c != 0 or when scaling the Bézout solution
+// overflows.
+func SolveDiophantine(a, b, c int64) (sol Diophantine, ok bool, err error) {
+	if a == 0 && b == 0 {
+		if c == 0 {
+			return Diophantine{}, true, nil
+		}
+		return Diophantine{}, false, nil
+	}
+	d, x, y := ExtGCD(a, b)
+	if FloorMod(c, d) != 0 {
+		return Diophantine{}, false, nil
+	}
+	scale := c / d
+	x0, err := MulChecked(x, scale)
+	if err != nil {
+		return Diophantine{}, false, err
+	}
+	y0, err := MulChecked(y, scale)
+	if err != nil {
+		return Diophantine{}, false, err
+	}
+	return Diophantine{X0: x0, Y0: y0, StepX: b / d, StepY: a / d}, true, nil
+}
+
+// SolveCongruence finds the smallest nonnegative x with a·x ≡ c (mod n).
+// It reports ok = false when the congruence has no solution, i.e. when
+// GCD(a, n) does not divide c. It requires n > 0.
+//
+// This is the primitive behind the paper's "find the smallest positive j
+// such that s·j ≡ i (mod pk)" step (Section 2).
+func SolveCongruence(a, c, n int64) (x int64, ok bool) {
+	if n <= 0 {
+		panic("intmath: SolveCongruence with nonpositive modulus")
+	}
+	d, inv, _ := ExtGCD(a, n)
+	if FloorMod(c, d) != 0 {
+		return 0, false
+	}
+	nd := n / d
+	// x ≡ (c/d)·inv (mod n/d); inv may be negative, c/d may be huge:
+	// reduce both before multiplying.
+	return MulModAuto(FloorMod(c, n)/d, inv, nd), true
+}
+
+// ModInverse returns the multiplicative inverse of a modulo n (n > 1),
+// i.e. the x in [0, n) with a·x ≡ 1 (mod n). It reports ok = false when a
+// and n are not coprime.
+func ModInverse(a, n int64) (x int64, ok bool) {
+	if n <= 1 {
+		panic("intmath: ModInverse with modulus <= 1")
+	}
+	d, inv, _ := ExtGCD(a, n)
+	if d != 1 {
+		return 0, false
+	}
+	return FloorMod(inv, n), true
+}
+
+// CRT solves the simultaneous congruences x ≡ a (mod m), x ≡ b (mod n)
+// for m, n > 0. When compatible it returns the smallest nonnegative
+// solution and the combined modulus lcm(m, n); ok is false when the
+// congruences conflict (a ≢ b mod gcd(m, n)) and err is non-nil when the
+// combined modulus overflows. This is the arithmetic behind intersecting
+// two arithmetic progressions — the closed-form step in communication-set
+// generation.
+func CRT(a, m, b, n int64) (x, mod int64, ok bool, err error) {
+	if m <= 0 || n <= 0 {
+		panic("intmath: CRT with nonpositive modulus")
+	}
+	d, p, _ := ExtGCD(m, n)
+	if FloorMod(b-a, d) != 0 {
+		return 0, 0, false, nil
+	}
+	mod, err = LCM(m, n)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	// x = a + m·t with t ≡ (b-a)/d · p (mod n/d).
+	nd := n / d
+	t := MulModAuto(FloorMod(b-a, n)/d, p, nd)
+	// a + m·t may overflow for extreme inputs; check.
+	mt, err := MulChecked(m, t)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	sum, err := AddChecked(FloorMod(a, mod), mt)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return FloorMod(sum, mod), mod, true, nil
+}

@@ -1,0 +1,64 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzExec feeds arbitrary statements to an interpreter with a prepared
+// environment. Malformed input must produce errors, never panics.
+func FuzzExec(f *testing.F) {
+	seeds := []string{
+		"processors P(4)",
+		"array A(320) distribute cyclic(8) onto P",
+		"A(4:319:9) = 100.0",
+		"B(0:70:2) = A(4:319:9)",
+		"print A(0:40:4)",
+		"sum A",
+		"table A(4:319:9) on 1",
+		"redistribute A cyclic(16)",
+		"stats",
+		"processors Q(2,2)",
+		"array M(8,8) distribute (cyclic(2),cyclic(2)) onto Q",
+		"M(0:7, 0:7) = transpose M(0:7, 0:7)",
+		"A(0:9) = A(0:9) + A(0:9)",
+		"A(0:9) = A(0:9) * 2.0",
+		"A(::",
+		"array A(999999999999999999999) distribute cyclic(8) onto P",
+		"sum A(0:-5:1)",
+		"table A(0:1000000:1) on -3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, stmt string) {
+		in := New()
+		// A prepared environment so array statements have targets.
+		for _, setup := range []string{
+			"processors P(4)",
+			"processors Q(2,2)",
+			"array A(64) distribute cyclic(4) onto P",
+			"array B(64) distribute cyclic(8) onto P",
+			"array M(8,8) distribute (cyclic(2),cyclic(2)) onto Q",
+		} {
+			if err := in.Exec(setup); err != nil {
+				t.Fatalf("setup %q: %v", setup, err)
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("statement %q panicked: %v", stmt, r)
+			}
+		}()
+		// Bound pathological statement lengths; errors are fine.
+		if len(stmt) > 200 {
+			stmt = stmt[:200]
+		}
+		// Avoid statements that legitimately take unbounded time (huge
+		// in-bounds fills are valid programs, not parser bugs).
+		if strings.Contains(stmt, "999999") {
+			return
+		}
+		_ = in.Exec(stmt)
+	})
+}

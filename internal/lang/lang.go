@@ -1,0 +1,480 @@
+// Package lang implements a miniature HPF-flavored array language — the
+// front end the paper's runtime routines were built to serve. A script
+// declares a processor arrangement, declares distributed arrays, and
+// performs section assignments; the interpreter lowers every statement
+// onto the library: scalar fills run through the AM-table node code,
+// array-to-array section assignments run through planned communication
+// sets on the simulated machine, and redistribution re-deals the blocks.
+//
+// Grammar (one statement per line; "!" starts a comment):
+//
+//	processors P(4)
+//	array A(320) distribute cyclic(8) onto P
+//	array B(320) distribute block onto P
+//	A(4:319:9) = 100.0              ! scalar fill through AM tables
+//	B(0:70:2) = A(4:319:9)          ! section copy with comm sets
+//	B(0:9) = A(0:9) + A(10:19)      ! elementwise expressions (+ - *)
+//	B(0:9) = A(0:9) * 2.0           ! array op scalar
+//	redistribute A cyclic(16)
+//	print A(0:40:4)
+//	sum A(4:319:9)
+//	table A(4:319:9) on 1           ! show the AM table for processor 1
+//	stats                           ! communication counters (and reset)
+//
+// Two-dimensional arrays live on processor grids (see lang2d.go):
+//
+//	processors Q(2,2)
+//	array M(16,24) distribute (cyclic(2),cyclic(3)) onto Q
+//	M(0:15:2, 0:23) = 1.0
+//	N(0:23, 0:15) = transpose M(0:15, 0:23)
+//
+// Triplets follow Fortran 90: lo:hi:stride with inclusive bounds; the
+// stride defaults to 1, and "A" alone means the whole array.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+	"repro/internal/redist"
+	"repro/internal/section"
+	"repro/internal/viz"
+)
+
+// Interp holds the interpreter state across statements.
+type Interp struct {
+	out      *strings.Builder
+	procs    int64
+	procName string
+	machine  *machine.Machine
+	arrays   map[string]*hpf.Array
+	gridDims map[string][]int64
+	arrays2  map[string]*hpf.Array2D
+}
+
+// New returns a fresh interpreter.
+func New() *Interp {
+	return &Interp{
+		out:      &strings.Builder{},
+		arrays:   map[string]*hpf.Array{},
+		gridDims: map[string][]int64{},
+		arrays2:  map[string]*hpf.Array2D{},
+	}
+}
+
+// newMachine builds a machine with n processors.
+func newMachine(n int64) *machine.Machine {
+	return machine.MustNew(int(n))
+}
+
+// Output returns everything print/sum/table statements have produced.
+func (in *Interp) Output() string { return in.out.String() }
+
+// Array exposes a declared array (for tests and embedding callers).
+func (in *Interp) Array(name string) (*hpf.Array, bool) {
+	a, ok := in.arrays[name]
+	return a, ok
+}
+
+// Run executes a whole script, stopping at the first error, which is
+// annotated with its 1-based line number.
+func (in *Interp) Run(src string) error {
+	for ln, line := range strings.Split(src, "\n") {
+		if err := in.Exec(line); err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return nil
+}
+
+// Exec executes a single statement. Blank lines and comments are no-ops.
+func (in *Interp) Exec(line string) error {
+	if i := strings.Index(line, "!"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "processors":
+		return in.execProcessors(fields)
+	case "array":
+		return in.execArray(fields)
+	case "redistribute":
+		return in.execRedistribute(fields)
+	case "print":
+		return in.execPrint(fields)
+	case "sum":
+		return in.execSum(fields)
+	case "table":
+		return in.execTable(fields)
+	case "stats":
+		return in.execStats(fields)
+	default:
+		if strings.Contains(line, "=") {
+			return in.execAssign(line)
+		}
+		return fmt.Errorf("unknown statement %q", fields[0])
+	}
+}
+
+// execProcessors handles flat arrangements (processors P(4)) and grids
+// (processors Q(2,2)).
+func (in *Interp) execProcessors(fields []string) error {
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: processors NAME(count[,count])")
+	}
+	name, args, err := splitCall(fields[1])
+	if err != nil {
+		return err
+	}
+	if len(args) == 2 {
+		return in.execProcessors2(name, args)
+	}
+	if in.procName != "" {
+		return fmt.Errorf("flat processors already declared")
+	}
+	if _, dup := in.gridDims[name]; dup {
+		return fmt.Errorf("processors %s already declared", name)
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("processors takes one or two counts, got %d", len(args))
+	}
+	p, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil || p < 1 {
+		return fmt.Errorf("invalid processor count %q", args[0])
+	}
+	in.procs = p
+	in.procName = name
+	in.ensureMachine(p)
+	return nil
+}
+
+// execArray handles 1-D declarations
+// (array A(320) distribute cyclic(8) onto P) and dispatches 2-D ones
+// (array M(16,24) distribute (cyclic(2),cyclic(3)) onto Q).
+func (in *Interp) execArray(fields []string) error {
+	if in.machine == nil {
+		return fmt.Errorf("declare processors first")
+	}
+	if len(fields) != 6 || fields[2] != "distribute" || fields[4] != "onto" {
+		return fmt.Errorf("usage: array NAME(size[,size]) distribute SPEC onto %s",
+			orProcs(in.procName))
+	}
+	name, args, err := splitCall(fields[1])
+	if err != nil {
+		return err
+	}
+	if len(args) == 2 {
+		return in.execArray2(name, args, fields[3], fields[5])
+	}
+	if fields[5] != in.procName {
+		return fmt.Errorf("unknown processor arrangement %q", fields[5])
+	}
+	if _, dup := in.arrays[name]; dup {
+		return fmt.Errorf("array %s already declared", name)
+	}
+	if _, dup := in.arrays2[name]; dup {
+		return fmt.Errorf("array %s already declared", name)
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("array %s needs exactly one extent", name)
+	}
+	n, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil || n < 1 {
+		return fmt.Errorf("invalid array size %q", args[0])
+	}
+	layout, err := in.parseDist(fields[3], n)
+	if err != nil {
+		return err
+	}
+	a, err := hpf.NewArray(layout, n)
+	if err != nil {
+		return err
+	}
+	in.arrays[name] = a
+	return nil
+}
+
+func orProcs(name string) string {
+	if name == "" {
+		return "PROCS"
+	}
+	return name
+}
+
+// parseDist parses cyclic(8), cyclic, or block.
+func (in *Interp) parseDist(spec string, n int64) (dist.Layout, error) {
+	switch {
+	case spec == "block":
+		return dist.Block(in.procs, n)
+	case spec == "cyclic":
+		return dist.Cyclic(in.procs)
+	case strings.HasPrefix(spec, "cyclic(") && strings.HasSuffix(spec, ")"):
+		k, err := strconv.ParseInt(spec[len("cyclic("):len(spec)-1], 10, 64)
+		if err != nil || k < 1 {
+			return dist.Layout{}, fmt.Errorf("invalid block size in %q", spec)
+		}
+		return dist.New(in.procs, k)
+	default:
+		return dist.Layout{}, fmt.Errorf("unknown distribution %q", spec)
+	}
+}
+
+// execRedistribute handles: redistribute A cyclic(16)
+func (in *Interp) execRedistribute(fields []string) error {
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: redistribute NAME cyclic(k)|cyclic|block")
+	}
+	a, ok := in.arrays[fields[1]]
+	if !ok {
+		return fmt.Errorf("unknown array %q", fields[1])
+	}
+	layout, err := in.parseDist(fields[2], a.N())
+	if err != nil {
+		return err
+	}
+	b, err := redist.Redistribute(in.machine, a, layout)
+	if err != nil {
+		return err
+	}
+	in.arrays[fields[1]] = b
+	return nil
+}
+
+// execAssign handles scalar fills, section copies and elementwise binary
+// expressions:
+//
+//	A(sec) = 3.0                    scalar fill
+//	A(sec) = B(sec)                 section copy
+//	A(sec) = B(sec) + C(sec)        elementwise array op (+ - *)
+//	A(sec) = B(sec) * 2.0           array op scalar
+func (in *Interp) execAssign(line string) error {
+	if in.machine == nil {
+		return fmt.Errorf("declare processors first")
+	}
+	parts := strings.SplitN(line, "=", 2)
+	lhs := strings.TrimSpace(parts[0])
+	rhs := strings.TrimSpace(parts[1])
+	if in.is2DRef(lhs) {
+		return in.execAssign2(lhs, rhs)
+	}
+	dstName, dstSec, err := in.parseRef(lhs)
+	if err != nil {
+		return err
+	}
+	dst := in.arrays[dstName]
+
+	// Scalar fill?
+	if v, err := strconv.ParseFloat(rhs, 64); err == nil {
+		return dst.FillSection(dstSec, v)
+	}
+
+	// Binary expression? Scan for a top-level operator (operands contain
+	// no spaces, so " op " is unambiguous).
+	for _, op := range []string{" + ", " - ", " * "} {
+		if i := strings.Index(rhs, op); i >= 0 {
+			return in.execBinary(dst, dstSec, strings.TrimSpace(rhs[:i]),
+				strings.TrimSpace(op), strings.TrimSpace(rhs[i+len(op):]))
+		}
+	}
+
+	// Plain section copy.
+	srcName, srcSec, err := in.parseRef(rhs)
+	if err != nil {
+		return fmt.Errorf("right-hand side %q: %w", rhs, err)
+	}
+	src := in.arrays[srcName]
+	return comm.Copy(in.machine, dst, dstSec, src, srcSec)
+}
+
+// execBinary evaluates dst(dstSec) = left OP right, where left is an
+// array reference and right is an array reference or a scalar.
+func (in *Interp) execBinary(dst *hpf.Array, dstSec section.Section,
+	left, op, right string) error {
+	fn, ok := map[string]comm.BinOp{
+		"+": comm.Add,
+		"-": func(a, b float64) float64 { return a - b },
+		"*": func(a, b float64) float64 { return a * b },
+	}[op]
+	if !ok {
+		return fmt.Errorf("unknown operator %q", op)
+	}
+	aName, aSec, err := in.parseRef(left)
+	if err != nil {
+		return fmt.Errorf("left operand %q: %w", left, err)
+	}
+	a := in.arrays[aName]
+
+	// Array op scalar: copy then map.
+	if v, err := strconv.ParseFloat(right, 64); err == nil {
+		if err := comm.Copy(in.machine, dst, dstSec, a, aSec); err != nil {
+			return err
+		}
+		return dst.MapSection(dstSec, func(x float64) float64 { return fn(x, v) })
+	}
+
+	// Array op array.
+	bName, bSec, err := in.parseRef(right)
+	if err != nil {
+		return fmt.Errorf("right operand %q: %w", right, err)
+	}
+	b := in.arrays[bName]
+	return comm.Combine(in.machine, dst, dstSec, a, aSec, b, bSec, fn)
+}
+
+// execPrint handles: print A(0:40:4)
+func (in *Interp) execPrint(fields []string) error {
+	ref := strings.Join(fields[1:], " ")
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: print NAME(lo:hi:stride)")
+	}
+	ref = strings.ReplaceAll(ref, " ", "")
+	if in.is2DRef(ref) {
+		return in.execPrint2(ref)
+	}
+	name, sec, err := in.parseRef(ref)
+	if err != nil {
+		return err
+	}
+	vals, err := in.arrays[name].GatherSection(sec)
+	if err != nil {
+		return err
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	fmt.Fprintf(in.out, "%s(%v) = [%s]\n", name, sec, strings.Join(parts, " "))
+	return nil
+}
+
+// execSum handles: sum A(4:319:9)
+func (in *Interp) execSum(fields []string) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: sum NAME(lo:hi:stride)")
+	}
+	ref := strings.ReplaceAll(strings.Join(fields[1:], " "), " ", "")
+	if in.is2DRef(ref) {
+		return in.execSum2(ref)
+	}
+	name, sec, err := in.parseRef(ref)
+	if err != nil {
+		return err
+	}
+	total, err := in.arrays[name].SumSection(sec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(in.out, "sum %s(%v) = %s\n", name, sec,
+		strconv.FormatFloat(total, 'g', -1, 64))
+	return nil
+}
+
+// execTable handles: table A(4:319:9) on 1
+func (in *Interp) execTable(fields []string) error {
+	if len(fields) != 4 || fields[2] != "on" {
+		return fmt.Errorf("usage: table NAME(lo:hi:stride) on PROC")
+	}
+	name, sec, err := in.parseRef(fields[1])
+	if err != nil {
+		return err
+	}
+	m, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return fmt.Errorf("invalid processor %q", fields[3])
+	}
+	a := in.arrays[name]
+	asc, _ := sec.Ascending()
+	if asc.Empty() {
+		fmt.Fprintf(in.out, "table %s(%v) on %d: empty section\n", name, sec, m)
+		return nil
+	}
+	pr := core.Problem{
+		P: a.Layout().P(), K: a.Layout().K(),
+		L: asc.Lo, S: asc.Stride, M: m,
+	}
+	seq, err := core.Lattice(pr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(in.out, "table %s(%v) on %d: %s\n", name, sec, m, viz.AMTable(seq))
+	return nil
+}
+
+// execStats handles: stats — print and reset the machine's communication
+// counters.
+func (in *Interp) execStats(fields []string) error {
+	if len(fields) != 1 {
+		return fmt.Errorf("usage: stats")
+	}
+	if in.machine == nil {
+		return fmt.Errorf("declare processors first")
+	}
+	total := in.machine.TotalStats()
+	fmt.Fprintf(in.out, "comm: %d messages, %d values\n",
+		total.MessagesSent, total.ValuesSent)
+	in.machine.ResetStats()
+	return nil
+}
+
+// parseRef parses NAME or NAME(lo:hi[:stride]) against a declared array.
+func (in *Interp) parseRef(ref string) (string, section.Section, error) {
+	name := ref
+	triplet := ""
+	if i := strings.IndexByte(ref, '('); i >= 0 {
+		if !strings.HasSuffix(ref, ")") {
+			return "", section.Section{}, fmt.Errorf("malformed reference %q", ref)
+		}
+		name, triplet = ref[:i], ref[i+1:len(ref)-1]
+	}
+	a, ok := in.arrays[name]
+	if !ok {
+		return "", section.Section{}, fmt.Errorf("unknown array %q", name)
+	}
+	if triplet == "" {
+		return name, section.Section{Lo: 0, Hi: a.N() - 1, Stride: 1}, nil
+	}
+	parts := strings.Split(triplet, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return "", section.Section{}, fmt.Errorf("malformed triplet %q", triplet)
+	}
+	nums := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return "", section.Section{}, fmt.Errorf("malformed triplet %q: %v", triplet, err)
+		}
+		nums[i] = v
+	}
+	stride := int64(1)
+	if len(nums) == 3 {
+		stride = nums[2]
+	}
+	sec, err := section.New(nums[0], nums[1], stride)
+	if err != nil {
+		return "", section.Section{}, err
+	}
+	return name, sec, nil
+}
+
+// splitCall parses NAME(arg1,arg2,...) into its pieces.
+func splitCall(s string) (name string, args []string, err error) {
+	i := strings.IndexByte(s, '(')
+	if i <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("malformed %q (want NAME(...))", s)
+	}
+	name = s[:i]
+	for _, a := range strings.Split(s[i+1:len(s)-1], ",") {
+		args = append(args, strings.TrimSpace(a))
+	}
+	return name, args, nil
+}

@@ -1,0 +1,252 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/section"
+)
+
+// This file adds two-dimensional arrays to the mini-language:
+//
+//	processors Q(2,2)                                  ! a processor grid
+//	array M(16,24) distribute (cyclic(2),cyclic(3)) onto Q
+//	M(0:15:2, 0:23) = 1.0                              ! rect fill
+//	N(0:23, 0:15) = transpose M(0:15, 0:23)            ! distributed transpose
+//	N(0:7, 0:7) = M(8:15, 8:15)                        ! rect copy
+//	sum M(0:15, 0:23)
+//	print M(0:3, 0:3)
+//
+// Grid arrangements and 2-D arrays coexist with the 1-D forms; the
+// interpreter dispatches on the declared name.
+
+// execProcessors2 handles: processors Q(2,2)
+func (in *Interp) execProcessors2(name string, args []string) error {
+	if _, dup := in.gridDims[name]; dup || name == in.procName {
+		return fmt.Errorf("processors %s already declared", name)
+	}
+	dims := make([]int64, len(args))
+	total := int64(1)
+	for i, a := range args {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("invalid processor count %q", a)
+		}
+		dims[i] = v
+		total *= v
+	}
+	if len(dims) != 2 {
+		return fmt.Errorf("grids must be rank 2, got %d dims", len(dims))
+	}
+	// Grid layouts get their block sizes at array-declaration time; store
+	// the dims for now.
+	in.gridDims[name] = dims
+	in.ensureMachine(total)
+	return nil
+}
+
+// ensureMachine grows the machine to at least n processors. Mailboxes are
+// empty between statements, so replacing the machine is safe.
+func (in *Interp) ensureMachine(n int64) {
+	if in.machine == nil || int64(in.machine.NProcs()) < n {
+		in.machine = newMachine(n)
+	}
+}
+
+// execArray2 handles:
+// array M(16,24) distribute (cyclic(2),cyclic(3)) onto Q
+func (in *Interp) execArray2(name string, extents []string, spec, gridName string) error {
+	dims, ok := in.gridDims[gridName]
+	if !ok {
+		return fmt.Errorf("unknown processor grid %q", gridName)
+	}
+	if _, dup := in.arrays2[name]; dup {
+		return fmt.Errorf("array %s already declared", name)
+	}
+	if _, dup := in.arrays[name]; dup {
+		return fmt.Errorf("array %s already declared", name)
+	}
+	if len(extents) != 2 {
+		return fmt.Errorf("2-D array %s needs 2 extents, got %d", name, len(extents))
+	}
+	n := make([]int64, 2)
+	for i, e := range extents {
+		v, err := strconv.ParseInt(e, 10, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("invalid extent %q", e)
+		}
+		n[i] = v
+	}
+	if !strings.HasPrefix(spec, "(") || !strings.HasSuffix(spec, ")") {
+		return fmt.Errorf("2-D distribution must be (spec,spec), got %q", spec)
+	}
+	parts := strings.Split(spec[1:len(spec)-1], ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("2-D distribution needs 2 specs, got %d", len(parts))
+	}
+	layouts := make([]dist.Layout, 2)
+	for d, ps := range parts {
+		saveP := in.procs
+		in.procs = dims[d]
+		l, err := in.parseDist(strings.TrimSpace(ps), n[d])
+		in.procs = saveP
+		if err != nil {
+			return err
+		}
+		layouts[d] = l
+	}
+	g, err := dist.NewGrid(layouts[0], layouts[1])
+	if err != nil {
+		return err
+	}
+	a, err := hpf.NewArray2D(g, n[0], n[1])
+	if err != nil {
+		return err
+	}
+	in.arrays2[name] = a
+	return nil
+}
+
+// parseRef2 parses NAME(sec0, sec1) against a declared 2-D array.
+func (in *Interp) parseRef2(ref string) (string, section.Rect, error) {
+	i := strings.IndexByte(ref, '(')
+	name := ref
+	if i >= 0 {
+		name = ref[:i]
+	}
+	a, ok := in.arrays2[name]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown 2-D array %q", name)
+	}
+	n0, n1 := a.Dims()
+	if i < 0 {
+		rect, _ := section.NewRect(
+			section.Section{Lo: 0, Hi: n0 - 1, Stride: 1},
+			section.Section{Lo: 0, Hi: n1 - 1, Stride: 1},
+		)
+		return name, rect, nil
+	}
+	if !strings.HasSuffix(ref, ")") {
+		return "", nil, fmt.Errorf("malformed reference %q", ref)
+	}
+	inner := ref[i+1 : len(ref)-1]
+	dims := strings.Split(inner, ",")
+	if len(dims) != 2 {
+		return "", nil, fmt.Errorf("2-D reference needs 2 subscripts, got %q", inner)
+	}
+	secs := make([]section.Section, 2)
+	for d, tri := range dims {
+		sec, err := parseTriplet(strings.TrimSpace(tri))
+		if err != nil {
+			return "", nil, err
+		}
+		secs[d] = sec
+	}
+	rect, err := section.NewRect(secs...)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, rect, nil
+}
+
+// parseTriplet parses lo:hi[:stride].
+func parseTriplet(tri string) (section.Section, error) {
+	parts := strings.Split(tri, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return section.Section{}, fmt.Errorf("malformed triplet %q", tri)
+	}
+	nums := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return section.Section{}, fmt.Errorf("malformed triplet %q: %v", tri, err)
+		}
+		nums[i] = v
+	}
+	stride := int64(1)
+	if len(nums) == 3 {
+		stride = nums[2]
+	}
+	return section.New(nums[0], nums[1], stride)
+}
+
+// is2DRef reports whether a reference names a declared 2-D array.
+func (in *Interp) is2DRef(ref string) bool {
+	name := ref
+	if i := strings.IndexByte(ref, '('); i >= 0 {
+		name = ref[:i]
+	}
+	_, ok := in.arrays2[name]
+	return ok
+}
+
+// execAssign2 handles 2-D assignments: rect fill, rect copy, transpose.
+func (in *Interp) execAssign2(lhs, rhs string) error {
+	dstName, dstRect, err := in.parseRef2(lhs)
+	if err != nil {
+		return err
+	}
+	dst := in.arrays2[dstName]
+
+	if v, err := strconv.ParseFloat(rhs, 64); err == nil {
+		return dst.FillRect(dstRect, v)
+	}
+	transpose := false
+	if rest, ok := strings.CutPrefix(rhs, "transpose "); ok {
+		transpose = true
+		rhs = strings.TrimSpace(rest)
+	}
+	srcName, srcRect, err := in.parseRef2(rhs)
+	if err != nil {
+		return fmt.Errorf("right-hand side %q: %w", rhs, err)
+	}
+	src := in.arrays2[srcName]
+	in.ensureMachine(max(dst.Grid().Procs(), src.Grid().Procs()))
+	if transpose {
+		return comm.Transpose2D(in.machine, dst, dstRect, src, srcRect)
+	}
+	return comm.Copy2D(in.machine, dst, dstRect, src, srcRect)
+}
+
+// execSum2 handles: sum M(rect)
+func (in *Interp) execSum2(ref string) error {
+	name, rect, err := in.parseRef2(ref)
+	if err != nil {
+		return err
+	}
+	total, err := in.arrays2[name].SumRect(rect)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(in.out, "sum %s%v = %s\n", name, rect,
+		strconv.FormatFloat(total, 'g', -1, 64))
+	return nil
+}
+
+// execPrint2 handles: print M(rect), row per first-dimension element.
+func (in *Interp) execPrint2(ref string) error {
+	name, rect, err := in.parseRef2(ref)
+	if err != nil {
+		return err
+	}
+	a := in.arrays2[name]
+	n0, n1 := a.Dims()
+	asc0, _ := rect[0].Ascending()
+	asc1, _ := rect[1].Ascending()
+	if !rect.Empty() && (asc0.Lo < 0 || asc0.Last() >= n0 || asc1.Lo < 0 || asc1.Last() >= n1) {
+		return fmt.Errorf("reference %s%v outside array %dx%d", name, rect, n0, n1)
+	}
+	fmt.Fprintf(in.out, "%s%v =\n", name, rect)
+	for _, i := range rect[0].Slice() {
+		parts := make([]string, 0, rect[1].Count())
+		for _, j := range rect[1].Slice() {
+			parts = append(parts, strconv.FormatFloat(a.Get(i, j), 'g', -1, 64))
+		}
+		fmt.Fprintf(in.out, "  [%s]\n", strings.Join(parts, " "))
+	}
+	return nil
+}

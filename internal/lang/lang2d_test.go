@@ -1,0 +1,153 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArray2DDeclareAndFill(t *testing.T) {
+	in := New()
+	script := `
+processors Q(2,2)
+array M(16,24) distribute (cyclic(2),cyclic(3)) onto Q
+M(0:15, 0:23) = 1.0
+M(0:15:2, 0:23:2) = 5.0
+sum M(0:15, 0:23)
+`
+	if err := in.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	// 16*24 = 384 cells; 8*12 = 96 get 5, rest 1: 96*5 + 288*1 = 768.
+	if !strings.Contains(in.Output(), "= 768") {
+		t.Errorf("2-D fill sum wrong:\n%s", in.Output())
+	}
+}
+
+func TestArray2DCopyAndTranspose(t *testing.T) {
+	in := New()
+	script := `
+processors Q(2,2)
+processors R(2,3)
+array M(8,10) distribute (cyclic(2),cyclic(2)) onto Q
+array N(10,8) distribute (cyclic(3),cyclic(1)) onto R
+M(0:7, 0:9) = 3.0
+M(0:7, 0:0) = 7.0
+N(0:9, 0:7) = transpose M(0:7, 0:9)
+sum N(0:9, 0:7)
+sum N(0:0, 0:7)
+`
+	if err := in.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	out := in.Output()
+	// Total preserved: 8 cells of 7 + 72 of 3 = 272.
+	if !strings.Contains(out, "sum N(0:9:1, 0:7:1) = 272") {
+		t.Errorf("transpose total wrong:\n%s", out)
+	}
+	// Column 0 of M becomes row 0 of N: 8 cells of 7 = 56.
+	if !strings.Contains(out, "sum N(0:0:1, 0:7:1) = 56") {
+		t.Errorf("transpose row wrong:\n%s", out)
+	}
+}
+
+func TestArray2DRectCopy(t *testing.T) {
+	in := New()
+	script := `
+processors Q(2,2)
+array A(12,12) distribute (cyclic(2),cyclic(2)) onto Q
+array B(12,12) distribute (cyclic(3),block) onto Q
+A(0:11, 0:11) = 2.0
+B(0:11, 0:11) = 0.0
+B(0:5, 0:5) = A(6:11, 6:11)
+sum B(0:11, 0:11)
+`
+	if err := in.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(in.Output(), "= 72") { // 36 cells of 2
+		t.Errorf("rect copy wrong:\n%s", in.Output())
+	}
+}
+
+func TestArray2DPrint(t *testing.T) {
+	in := New()
+	script := `
+processors Q(2,2)
+array M(4,4) distribute (cyclic(1),cyclic(1)) onto Q
+M(0:3, 0:3) = 0.0
+M(1:1, 0:3) = 9.0
+print M(0:2, 0:2)
+`
+	if err := in.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	out := in.Output()
+	if !strings.Contains(out, "[0 0 0]") || !strings.Contains(out, "[9 9 9]") {
+		t.Errorf("2-D print wrong:\n%s", out)
+	}
+}
+
+func TestMixed1DAnd2D(t *testing.T) {
+	in := New()
+	script := `
+processors P(4)
+processors Q(2,2)
+array A(64) distribute cyclic(8) onto P
+array M(8,8) distribute (cyclic(2),cyclic(2)) onto Q
+A = 1.0
+M(0:7, 0:7) = 2.0
+sum A
+sum M(0:7, 0:7)
+`
+	if err := in.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	out := in.Output()
+	if !strings.Contains(out, "sum A(0:63:1) = 64") {
+		t.Errorf("1-D sum wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "= 128") {
+		t.Errorf("2-D sum wrong:\n%s", out)
+	}
+}
+
+func TestArray2DErrors(t *testing.T) {
+	cases := []struct {
+		script string
+		want   string
+	}{
+		{"processors Q(2,2)\nprocessors Q(2,2)", "already declared"},
+		{"processors Q(0,2)", "invalid processor count"},
+		{"processors Q(2,2)\narray M(8,8) distribute (cyclic(2),cyclic(2)) onto Z", "unknown processor grid"},
+		{"processors Q(2,2)\narray M(8,8) distribute cyclic(2) onto Q", "2-D distribution"},
+		{"processors Q(2,2)\narray M(8,-1) distribute (cyclic(2),cyclic(2)) onto Q", "invalid extent"},
+		{"processors Q(2,2)\narray M(8,8) distribute (cyclic(2),cyclic(2)) onto Q\narray M(8,8) distribute (cyclic(2),cyclic(2)) onto Q", "already declared"},
+		{"processors Q(2,2)\narray M(8,8) distribute (cyclic(2),cyclic(2)) onto Q\nM(0:7) = 1.0", "2-D reference needs 2 subscripts"},
+		{"processors Q(2,2)\narray M(8,8) distribute (cyclic(2),cyclic(2)) onto Q\nM(0:7, 0:9) = 1.0", "outside"},
+		{"processors Q(2,2)\narray M(8,8) distribute (cyclic(2),cyclic(2)) onto Q\nM(0:7, 0:7) = X(0:7, 0:7)", "unknown 2-D array"},
+		{"processors P(2)\nprocessors P(2,2)", "already declared"},
+	}
+	for _, c := range cases {
+		err := New().Run(c.script)
+		if err == nil {
+			t.Errorf("script %q should fail", c.script)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("script %q: error %q does not contain %q", c.script, err, c.want)
+		}
+	}
+}
+
+func TestSameNameAcrossRanks(t *testing.T) {
+	// A name may not be reused between 1-D and 2-D arrays.
+	err := New().Run(`
+processors P(4)
+processors Q(2,2)
+array A(64) distribute cyclic(8) onto P
+array A(8,8) distribute (cyclic(2),cyclic(2)) onto Q
+`)
+	if err == nil || !strings.Contains(err.Error(), "already declared") {
+		t.Errorf("cross-rank name reuse should fail: %v", err)
+	}
+}

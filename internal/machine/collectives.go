@@ -1,0 +1,104 @@
+package machine
+
+// This file implements collective operations on top of point-to-point
+// messaging. All collectives must be called by every processor of the
+// machine (SPMD), like their MPI counterparts. The implementations use a
+// simple root-relative star; the machine is simulated, so topology-aware
+// trees would only add complexity.
+
+// ReduceOp combines two float64 values; it must be associative and
+// commutative (sum, max, min, ...).
+type ReduceOp func(a, b float64) float64
+
+// Sum is the addition reduce operator.
+func Sum(a, b float64) float64 { return a + b }
+
+// Max is the maximum reduce operator.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reduce combines one value per processor with op and returns the result
+// on root (other processors receive 0). Every processor must call it.
+func (p *Proc) Reduce(value float64, op ReduceOp, root int) float64 {
+	const tag = "__reduce"
+	if p.rank != root {
+		p.Send(root, tag, []float64{value}, nil)
+		return 0
+	}
+	acc := value
+	for r := 0; r < p.m.nprocs; r++ {
+		if r == root {
+			continue
+		}
+		msg := p.Recv(r, tag)
+		acc = op(acc, msg.Data[0])
+	}
+	return acc
+}
+
+// AllReduce is Reduce followed by a broadcast: every processor receives
+// the combined value.
+func (p *Proc) AllReduce(value float64, op ReduceOp) float64 {
+	acc := p.Reduce(value, op, 0)
+	return p.Bcast(acc, 0)
+}
+
+// Bcast distributes root's value to every processor and returns it.
+func (p *Proc) Bcast(value float64, root int) float64 {
+	const tag = "__bcast"
+	if p.rank == root {
+		for r := 0; r < p.m.nprocs; r++ {
+			if r != root {
+				p.Send(r, tag, []float64{value}, nil)
+			}
+		}
+		return value
+	}
+	return p.Recv(root, tag).Data[0]
+}
+
+// GatherSlices collects one slice per processor on root, indexed by rank.
+// Non-root processors receive nil. Every processor must call it.
+func (p *Proc) GatherSlices(local []float64, root int) [][]float64 {
+	const tag = "__gather"
+	if p.rank != root {
+		p.Send(root, tag, local, nil)
+		return nil
+	}
+	out := make([][]float64, p.m.nprocs)
+	out[root] = local
+	for r := 0; r < p.m.nprocs; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = p.Recv(r, tag).Data
+	}
+	return out
+}
+
+// AllToAll exchanges one slice per processor pair: send[r] goes to
+// processor r, and the result's entry q holds what processor q sent here.
+// nil entries are delivered as empty slices. Every processor must call it.
+func (p *Proc) AllToAll(send [][]float64) [][]float64 {
+	const tag = "__alltoall"
+	if len(send) != p.m.nprocs {
+		panic("machine: AllToAll send slice count must equal NProcs")
+	}
+	recv := make([][]float64, p.m.nprocs)
+	recv[p.rank] = send[p.rank]
+	for r := 0; r < p.m.nprocs; r++ {
+		if r != p.rank {
+			p.Send(r, tag, send[r], nil)
+		}
+	}
+	for r := 0; r < p.m.nprocs; r++ {
+		if r != p.rank {
+			recv[r] = p.Recv(r, tag).Data
+		}
+	}
+	return recv
+}

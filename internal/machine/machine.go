@@ -1,0 +1,333 @@
+// Package machine simulates a distributed-memory multiprocessor: the
+// substrate the paper's runtime routines execute on. The original
+// evaluation ran on a 32-node Intel iPSC/860 hypercube; here each
+// processor is a goroutine with a private mailbox, and message passing,
+// barriers and collectives are built on channels and condition variables
+// (see DESIGN.md, Substitutions).
+//
+// The programming model is SPMD: Machine.Run launches the same body on
+// every processor and waits for all of them to finish. Within the body,
+// a *Proc provides its rank and the communication primitives.
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Message is a tagged point-to-point message. Payloads carry float64
+// array data and/or int64 metadata; Tag disambiguates concurrent
+// conversations (like MPI tags).
+type Message struct {
+	From, To int
+	Tag      string
+	Data     []float64
+	Ints     []int64
+}
+
+// Machine is a simulated multiprocessor with a fixed processor count.
+type Machine struct {
+	nprocs  int
+	procs   []*Proc
+	barrier *barrier
+
+	// parked counts processors blocked in Recv/RecvAny/Barrier waits.
+	// When every processor is parked no message can ever be delivered, so
+	// the run is deadlocked; Run's watchdog then aborts it with a
+	// diagnostic panic instead of hanging forever. progress increments on
+	// every send and wakeup so the watchdog can distinguish a true
+	// deadlock from a waiter that is runnable but not yet scheduled.
+	parked   atomic.Int64
+	progress atomic.Int64
+}
+
+// New creates a machine with p processors (p ≥ 1).
+func New(p int) (*Machine, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("machine: processor count %d < 1", p)
+	}
+	m := &Machine{nprocs: p}
+	m.barrier = newBarrier(p, &m.parked, &m.progress)
+	m.procs = make([]*Proc, p)
+	for i := range m.procs {
+		m.procs[i] = &Proc{rank: i, m: m}
+		m.procs[i].cond = sync.NewCond(&m.procs[i].mu)
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on invalid arguments.
+func MustNew(p int) *Machine {
+	m, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NProcs returns the processor count.
+func (m *Machine) NProcs() int { return m.nprocs }
+
+// Run executes body on every processor concurrently (SPMD) and blocks
+// until all instances return. It may be called repeatedly; mailboxes
+// persist across runs, so a protocol may span multiple Run calls.
+//
+// A panic in any body is re-raised on the caller after all other bodies
+// finish or deadlock-free exit cannot be guaranteed; bodies should not
+// panic as part of normal operation.
+func (m *Machine) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	panics := make([]any, m.nprocs)
+	for i := 0; i < m.nprocs; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[rank] = r
+					// Unblock any peers waiting on this processor.
+					m.barrier.poison()
+					for _, p := range m.procs {
+						p.poison()
+					}
+				}
+			}()
+			body(m.procs[rank])
+		}(i)
+	}
+	done := make(chan struct{})
+	go m.watchdog(done)
+	wg.Wait()
+	close(done)
+	// Restore the machine for subsequent runs before re-raising anything.
+	m.barrier.reset()
+	for _, p := range m.procs {
+		p.unpoison()
+	}
+	// Report an original panic in preference to the poisonError cascades it
+	// induced in blocked peers.
+	var firstRank = -1
+	var firstVal any
+	for rank, r := range panics {
+		if r == nil {
+			continue
+		}
+		if _, induced := r.(poisonError); !induced {
+			panic(fmt.Sprintf("machine: processor %d panicked: %v", rank, r))
+		}
+		if firstRank < 0 {
+			firstRank, firstVal = rank, r
+		}
+	}
+	if firstRank >= 0 {
+		panic(fmt.Sprintf("machine: processor %d panicked: %v", firstRank, firstVal))
+	}
+}
+
+// poisonError marks panics induced in processors that were blocked when a
+// peer failed, so Run can report the root cause instead.
+type poisonError string
+
+func (e poisonError) Error() string { return string(e) }
+
+// watchdog aborts the run when every processor is parked in a blocking
+// wait: with all of them waiting, no send can ever happen, so the SPMD
+// program has deadlocked (e.g. two processors Recv-ing from each other).
+func (m *Machine) watchdog(done <-chan struct{}) {
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			// All-parked is stable: a parked processor can only resume if
+			// some other processor delivers a message or reaches the
+			// barrier, and none is running. One confirming re-read filters
+			// the transient where the last arrival at a barrier is between
+			// park and broadcast.
+			if m.parked.Load() == int64(m.nprocs) {
+				// Confirm over a generous window: any deliverable message
+				// would wake its receiver (bumping progress) long before
+				// this.
+				before := m.progress.Load()
+				time.Sleep(25 * time.Millisecond)
+				if m.parked.Load() != int64(m.nprocs) || m.progress.Load() != before {
+					continue
+				}
+				m.barrier.poison()
+				for _, p := range m.procs {
+					p.poisonWith("machine: deadlock: all processors blocked in Recv/Barrier")
+				}
+				return
+			}
+		}
+	}
+}
+
+// Proc is one simulated processor: a rank plus communication state.
+type Proc struct {
+	rank int
+	m    *Machine
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	mailbox   []Message
+	poisoned  bool
+	poisonMsg string
+
+	stats statCounters
+}
+
+// Rank returns this processor's rank in [0, NProcs).
+func (p *Proc) Rank() int { return p.rank }
+
+// NProcs returns the machine's processor count.
+func (p *Proc) NProcs() int { return p.m.nprocs }
+
+// Send delivers a message to processor `to`. Payload slices are not
+// copied; senders must not mutate them after sending (ownership
+// transfers, as with channel sends).
+func (p *Proc) Send(to int, tag string, data []float64, ints []int64) {
+	if to < 0 || to >= p.m.nprocs {
+		panic(fmt.Sprintf("machine: send to invalid rank %d", to))
+	}
+	p.stats.messages.Add(1)
+	p.stats.values.Add(int64(len(data)))
+	p.m.progress.Add(1)
+	dst := p.m.procs[to]
+	dst.mu.Lock()
+	dst.mailbox = append(dst.mailbox, Message{
+		From: p.rank, To: to, Tag: tag, Data: data, Ints: ints,
+	})
+	dst.mu.Unlock()
+	dst.cond.Broadcast()
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns it. Messages from the same sender with the same tag are
+// delivered in send order.
+func (p *Proc) Recv(from int, tag string) Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for i, msg := range p.mailbox {
+			if msg.From == from && msg.Tag == tag {
+				p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+				return msg
+			}
+		}
+		if p.poisoned {
+			panic(poisonError(p.poisonMsg))
+		}
+		p.m.parked.Add(1)
+		p.cond.Wait()
+		p.m.parked.Add(-1)
+		p.m.progress.Add(1)
+	}
+}
+
+// RecvAny blocks until any message with the given tag arrives.
+func (p *Proc) RecvAny(tag string) Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for i, msg := range p.mailbox {
+			if msg.Tag == tag {
+				p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+				return msg
+			}
+		}
+		if p.poisoned {
+			panic(poisonError(p.poisonMsg))
+		}
+		p.m.parked.Add(1)
+		p.cond.Wait()
+		p.m.parked.Add(-1)
+		p.m.progress.Add(1)
+	}
+}
+
+// Barrier blocks until every processor has reached it.
+func (p *Proc) Barrier() {
+	p.m.barrier.await()
+}
+
+func (p *Proc) poison() {
+	p.poisonWith("machine: peer processor panicked while this one was receiving")
+}
+
+func (p *Proc) poisonWith(msg string) {
+	p.mu.Lock()
+	if !p.poisoned { // first poison wins: keep the root-cause message
+		p.poisoned = true
+		p.poisonMsg = msg
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *Proc) unpoison() {
+	p.mu.Lock()
+	p.poisoned = false
+	p.mu.Unlock()
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	arrived  int
+	epoch    int
+	poisoned bool
+	parked   *atomic.Int64 // the machine's parked counter
+	progress *atomic.Int64 // the machine's progress counter
+}
+
+func newBarrier(n int, parked, progress *atomic.Int64) *barrier {
+	b := &barrier{n: n, parked: parked, progress: progress}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic(poisonError("machine: peer processor panicked at barrier"))
+	}
+	epoch := b.epoch
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.epoch++
+		b.cond.Broadcast()
+		return
+	}
+	for b.epoch == epoch && !b.poisoned {
+		b.parked.Add(1)
+		b.cond.Wait()
+		b.parked.Add(-1)
+		b.progress.Add(1)
+	}
+	if b.poisoned {
+		panic(poisonError("machine: peer processor panicked at barrier"))
+	}
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.poisoned = false
+	b.arrived = 0
+	b.mu.Unlock()
+}

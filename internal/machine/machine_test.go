@@ -1,0 +1,351 @@
+package machine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	m, err := New(4)
+	if err != nil || m.NProcs() != 4 {
+		t.Fatalf("New(4): %v, nprocs=%d", err, m.NProcs())
+	}
+}
+
+func TestRunSPMD(t *testing.T) {
+	m := MustNew(8)
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 8)
+	m.Run(func(p *Proc) {
+		count.Add(1)
+		seen[p.Rank()].Store(true)
+		if p.NProcs() != 8 {
+			t.Errorf("NProcs = %d", p.NProcs())
+		}
+	})
+	if count.Load() != 8 {
+		t.Errorf("ran %d bodies, want 8", count.Load())
+	}
+	for r := range seen {
+		if !seen[r].Load() {
+			t.Errorf("rank %d never ran", r)
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	m := MustNew(2)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, "data", []float64{1, 2, 3}, []int64{42})
+		} else {
+			msg := p.Recv(0, "data")
+			if len(msg.Data) != 3 || msg.Data[2] != 3 || msg.Ints[0] != 42 {
+				t.Errorf("bad message: %+v", msg)
+			}
+			if msg.From != 0 || msg.To != 1 {
+				t.Errorf("bad envelope: %+v", msg)
+			}
+		}
+	})
+}
+
+func TestRecvTagMatching(t *testing.T) {
+	m := MustNew(2)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			// Send out of the order the receiver asks for them.
+			p.Send(1, "b", []float64{2}, nil)
+			p.Send(1, "a", []float64{1}, nil)
+		} else {
+			a := p.Recv(0, "a")
+			b := p.Recv(0, "b")
+			if a.Data[0] != 1 || b.Data[0] != 2 {
+				t.Errorf("tag matching failed: a=%v b=%v", a, b)
+			}
+		}
+	})
+}
+
+func TestRecvFIFOPerSenderTag(t *testing.T) {
+	m := MustNew(2)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				p.Send(1, "seq", []float64{float64(i)}, nil)
+			}
+		} else {
+			for i := 0; i < 50; i++ {
+				msg := p.Recv(0, "seq")
+				if msg.Data[0] != float64(i) {
+					t.Fatalf("message %d out of order: %v", i, msg.Data[0])
+				}
+			}
+		}
+	})
+}
+
+func TestRecvAny(t *testing.T) {
+	m := MustNew(4)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			got := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				msg := p.RecvAny("hello")
+				got[msg.From] = true
+			}
+			if len(got) != 3 {
+				t.Errorf("expected messages from 3 distinct senders, got %v", got)
+			}
+		} else {
+			p.Send(0, "hello", nil, nil)
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	m := MustNew(6)
+	var phase atomic.Int64
+	m.Run(func(p *Proc) {
+		phase.Add(1)
+		p.Barrier()
+		// After the barrier every processor must see all 6 arrivals.
+		if got := phase.Load(); got != 6 {
+			t.Errorf("rank %d: phase = %d after barrier, want 6", p.Rank(), got)
+		}
+		p.Barrier()
+		phase.Add(-1)
+		p.Barrier()
+		if got := phase.Load(); got != 0 {
+			t.Errorf("rank %d: phase = %d after second round, want 0", p.Rank(), got)
+		}
+	})
+}
+
+func TestReduce(t *testing.T) {
+	m := MustNew(5)
+	m.Run(func(p *Proc) {
+		got := p.Reduce(float64(p.Rank()+1), Sum, 2)
+		if p.Rank() == 2 && got != 15 {
+			t.Errorf("Reduce sum = %v, want 15", got)
+		}
+		if p.Rank() != 2 && got != 0 {
+			t.Errorf("non-root got %v", got)
+		}
+	})
+}
+
+func TestAllReduceMax(t *testing.T) {
+	m := MustNew(7)
+	m.Run(func(p *Proc) {
+		got := p.AllReduce(float64(p.Rank()), Max)
+		if got != 6 {
+			t.Errorf("rank %d: AllReduce max = %v, want 6", p.Rank(), got)
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	m := MustNew(4)
+	m.Run(func(p *Proc) {
+		v := -1.0
+		if p.Rank() == 1 {
+			v = 99
+		}
+		got := p.Bcast(v, 1)
+		if got != 99 {
+			t.Errorf("rank %d: Bcast = %v", p.Rank(), got)
+		}
+	})
+}
+
+func TestGatherSlices(t *testing.T) {
+	m := MustNew(3)
+	m.Run(func(p *Proc) {
+		local := []float64{float64(p.Rank()) * 10}
+		all := p.GatherSlices(local, 0)
+		if p.Rank() == 0 {
+			for r := 0; r < 3; r++ {
+				if all[r][0] != float64(r)*10 {
+					t.Errorf("gathered[%d] = %v", r, all[r])
+				}
+			}
+		} else if all != nil {
+			t.Errorf("non-root rank %d got %v", p.Rank(), all)
+		}
+	})
+}
+
+func TestAllToAll(t *testing.T) {
+	m := MustNew(4)
+	m.Run(func(p *Proc) {
+		send := make([][]float64, 4)
+		for r := range send {
+			send[r] = []float64{float64(p.Rank()*10 + r)}
+		}
+		recv := p.AllToAll(send)
+		for q := range recv {
+			want := float64(q*10 + p.Rank())
+			if recv[q][0] != want {
+				t.Errorf("rank %d: recv[%d] = %v, want %v", p.Rank(), q, recv[q], want)
+			}
+		}
+	})
+}
+
+func TestMultipleRuns(t *testing.T) {
+	m := MustNew(3)
+	for round := 0; round < 4; round++ {
+		m.Run(func(p *Proc) {
+			next := (p.Rank() + 1) % 3
+			prev := (p.Rank() + 2) % 3
+			p.Send(next, "ring", []float64{float64(p.Rank())}, nil)
+			msg := p.Recv(prev, "ring")
+			if int(msg.Data[0]) != prev {
+				t.Errorf("round %d rank %d: got %v", round, p.Rank(), msg.Data[0])
+			}
+			p.Barrier()
+		})
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	m := MustNew(3)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from Run")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Errorf("panic message %q does not mention cause", r)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		// Other processors block; the poison must unblock them.
+		p.Recv(1, "never-sent")
+	})
+}
+
+func TestMachineUsableAfterPanic(t *testing.T) {
+	m := MustNew(2)
+	func() {
+		defer func() { recover() }()
+		m.Run(func(p *Proc) {
+			if p.Rank() == 0 {
+				panic("first run dies")
+			}
+			p.Barrier()
+		})
+	}()
+	// The machine must be reusable after the failed run.
+	m.Run(func(p *Proc) {
+		p.Barrier()
+		if p.Rank() == 0 {
+			p.Send(1, "ok", []float64{1}, nil)
+		} else {
+			if msg := p.Recv(0, "ok"); msg.Data[0] != 1 {
+				t.Error("recovery run failed")
+			}
+		}
+	})
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	m := MustNew(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(5, "x", nil, nil)
+		}
+	})
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := MustNew(3)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, "x", []float64{1, 2, 3}, nil)
+			p.Send(2, "x", []float64{4}, nil)
+		}
+		if p.Rank() != 0 {
+			p.Recv(0, "x")
+		}
+	})
+	s0 := m.Stats(0)
+	if s0.MessagesSent != 2 || s0.ValuesSent != 4 {
+		t.Errorf("proc 0 stats = %+v, want 2 msgs / 4 values", s0)
+	}
+	if s := m.Stats(1); s.MessagesSent != 0 {
+		t.Errorf("proc 1 sent nothing but stats = %+v", s)
+	}
+	total := m.TotalStats()
+	if total.MessagesSent != 2 || total.ValuesSent != 4 {
+		t.Errorf("total = %+v", total)
+	}
+	m.ResetStats()
+	if s := m.TotalStats(); s.MessagesSent != 0 || s.ValuesSent != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestStatsAccumulateAcrossRuns(t *testing.T) {
+	m := MustNew(2)
+	for round := 0; round < 3; round++ {
+		m.Run(func(p *Proc) {
+			if p.Rank() == 0 {
+				p.Send(1, "r", []float64{1, 2}, nil)
+			} else {
+				p.Recv(0, "r")
+			}
+		})
+	}
+	if s := m.Stats(0); s.MessagesSent != 3 || s.ValuesSent != 6 {
+		t.Errorf("accumulated stats = %+v", s)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := MustNew(2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if !strings.Contains(r.(string), "deadlock") {
+			t.Errorf("panic %q should mention deadlock", r)
+		}
+	}()
+	// Both processors wait for a message the other never sends.
+	m.Run(func(p *Proc) {
+		p.Recv(1-p.Rank(), "never")
+	})
+}
+
+func TestNoFalseDeadlockUnderChatter(t *testing.T) {
+	// A long-running ping-pong must not trip the watchdog.
+	m := MustNew(2)
+	m.Run(func(p *Proc) {
+		other := 1 - p.Rank()
+		for i := 0; i < 2000; i++ {
+			if p.Rank() == 0 {
+				p.Send(other, "ping", []float64{float64(i)}, nil)
+				p.Recv(other, "pong")
+			} else {
+				p.Recv(other, "ping")
+				p.Send(other, "pong", nil, nil)
+			}
+		}
+		p.Barrier()
+	})
+}

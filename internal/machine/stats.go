@@ -1,0 +1,48 @@
+package machine
+
+import "sync/atomic"
+
+// Stats counts a processor's outgoing traffic: how many messages it sent
+// and how many float64 values they carried. Communication-set quality is
+// the second half of the paper's compilation problem (Section 7), and
+// examples report these counters the way the HPF literature reports
+// message counts and volumes.
+type Stats struct {
+	MessagesSent int64
+	ValuesSent   int64
+}
+
+// statCounters is embedded per processor; updated with atomics so Send
+// never contends on more than the destination mailbox lock.
+type statCounters struct {
+	messages atomic.Int64
+	values   atomic.Int64
+}
+
+// Stats returns a snapshot of processor m's outgoing traffic counters.
+func (m *Machine) Stats(rank int) Stats {
+	p := m.procs[rank]
+	return Stats{
+		MessagesSent: p.stats.messages.Load(),
+		ValuesSent:   p.stats.values.Load(),
+	}
+}
+
+// TotalStats sums the outgoing counters over all processors.
+func (m *Machine) TotalStats() Stats {
+	var t Stats
+	for r := range m.procs {
+		s := m.Stats(r)
+		t.MessagesSent += s.MessagesSent
+		t.ValuesSent += s.ValuesSent
+	}
+	return t
+}
+
+// ResetStats zeroes every processor's counters.
+func (m *Machine) ResetStats() {
+	for _, p := range m.procs {
+		p.stats.messages.Store(0)
+		p.stats.values.Store(0)
+	}
+}

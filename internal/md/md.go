@@ -1,0 +1,165 @@
+// Package md generates local memory access sequences for MULTI-
+// dimensional regular sections over processor grids.
+//
+// HPF distributes each array dimension independently, so "if a
+// multidimensional array section can be described using Fortran 90
+// subscript triplet notation ... the memory access problem simply reduces
+// to multiple applications of the algorithm for the one-dimensional case"
+// (paper, Section 2). A Plan runs the one-dimensional lattice algorithm
+// per dimension and composes the per-dimension local addresses into
+// linear offsets of the processor's dense local array.
+package md
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+// Plan is the access plan of one grid processor for a multidimensional
+// section: the per-dimension local address lists, plus the local array
+// geometry needed to linearize them.
+type Plan struct {
+	// addrs[d] lists dimension d's local addresses (in increasing global
+	// index order) of the section elements owned along that dimension.
+	addrs [][]int64
+	// strides[d] is the linear stride of one step in dimension d within
+	// the processor's dense row-major local array.
+	strides []int64
+	// reversed[d] records that the section traverses dimension d
+	// descending (addresses are walked back to front).
+	reversed []bool
+}
+
+// NewPlan builds the plan for the processor at the given grid coordinates
+// over an array with the given global extents, for the section rect. The
+// local array is assumed dense row-major with extents
+// grid.Dim(d).LocalCount(coords[d], extents[d]) — the layout used by
+// hpf.Array2D.
+func NewPlan(grid *dist.Grid, coords, extents []int64, rect section.Rect) (*Plan, error) {
+	rank := grid.Rank()
+	if len(coords) != rank || len(extents) != rank || rect.Rank() != rank {
+		return nil, fmt.Errorf("md: rank mismatch: grid %d, coords %d, extents %d, rect %d",
+			rank, len(coords), len(extents), rect.Rank())
+	}
+	p := &Plan{
+		addrs:    make([][]int64, rank),
+		strides:  make([]int64, rank),
+		reversed: make([]bool, rank),
+	}
+	// Row-major strides from the local shape.
+	stride := int64(1)
+	for d := rank - 1; d >= 0; d-- {
+		layout := grid.Dim(d)
+		p.strides[d] = stride
+		stride *= layout.LocalCount(coords[d], extents[d])
+	}
+	for d := 0; d < rank; d++ {
+		layout := grid.Dim(d)
+		sec := rect[d]
+		asc, rev := sec.Ascending()
+		p.reversed[d] = rev
+		if asc.Empty() {
+			p.addrs[d] = nil
+			continue
+		}
+		if asc.Lo < 0 || asc.Last() >= extents[d] {
+			return nil, fmt.Errorf("md: dimension %d section %v outside [0, %d)",
+				d, sec, extents[d])
+		}
+		pr := core.Problem{
+			P: layout.P(), K: layout.K(),
+			L: asc.Lo, S: asc.Stride,
+			M: coords[d],
+		}
+		a, err := pr.Addresses(asc.Last())
+		if err != nil {
+			return nil, fmt.Errorf("md: dimension %d: %v", d, err)
+		}
+		p.addrs[d] = a
+	}
+	return p, nil
+}
+
+// Count returns the number of section elements this processor owns.
+func (p *Plan) Count() int64 {
+	n := int64(1)
+	for _, a := range p.addrs {
+		n *= int64(len(a))
+	}
+	return n
+}
+
+// DimCount returns the number of owned elements along dimension d.
+func (p *Plan) DimCount(d int) int { return len(p.addrs[d]) }
+
+// Addresses returns the linear local addresses of all owned section
+// elements, ordered by the section's traversal order (outer dimensions
+// vary slowest, descending dimensions walk their addresses backwards).
+func (p *Plan) Addresses() []int64 {
+	n := p.Count()
+	out := make([]int64, 0, n)
+	if n == 0 {
+		return out
+	}
+	rank := len(p.addrs)
+	pos := make([]int, rank)
+	for {
+		var lin int64
+		for d := 0; d < rank; d++ {
+			idx := pos[d]
+			if p.reversed[d] {
+				idx = len(p.addrs[d]) - 1 - idx
+			}
+			lin += p.addrs[d][idx] * p.strides[d]
+		}
+		out = append(out, lin)
+		d := rank - 1
+		for d >= 0 {
+			pos[d]++
+			if pos[d] < len(p.addrs[d]) {
+				break
+			}
+			pos[d] = 0
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+// Each calls f for every owned element's linear local address, in
+// traversal order, without materializing the address list.
+func (p *Plan) Each(f func(lin int64)) {
+	if p.Count() == 0 {
+		return
+	}
+	rank := len(p.addrs)
+	pos := make([]int, rank)
+	for {
+		var lin int64
+		for d := 0; d < rank; d++ {
+			idx := pos[d]
+			if p.reversed[d] {
+				idx = len(p.addrs[d]) - 1 - idx
+			}
+			lin += p.addrs[d][idx] * p.strides[d]
+		}
+		f(lin)
+		d := rank - 1
+		for d >= 0 {
+			pos[d]++
+			if pos[d] < len(p.addrs[d]) {
+				break
+			}
+			pos[d] = 0
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}

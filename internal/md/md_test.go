@@ -1,0 +1,193 @@
+package md
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+// bruteAddrs walks the rect in traversal order and returns, for the given
+// processor, the linear local addresses of the owned elements — the
+// definition Plan must match.
+func bruteAddrs(grid *dist.Grid, coords, extents []int64, rect section.Rect) []int64 {
+	rank := grid.Rank()
+	// Local shape and row-major strides.
+	shape := make([]int64, rank)
+	for d := 0; d < rank; d++ {
+		shape[d] = grid.Dim(d).LocalCount(coords[d], extents[d])
+	}
+	strides := make([]int64, rank)
+	st := int64(1)
+	for d := rank - 1; d >= 0; d-- {
+		strides[d] = st
+		st *= shape[d]
+	}
+	var out []int64
+	for idx := range rect.All() {
+		owned := true
+		var lin int64
+		for d := 0; d < rank; d++ {
+			if grid.Dim(d).Owner(idx[d]) != coords[d] {
+				owned = false
+				break
+			}
+			lin += grid.Dim(d).Local(idx[d]) * strides[d]
+		}
+		if owned {
+			out = append(out, lin)
+		}
+	}
+	return out
+}
+
+func TestPlanMatchesBrute2D(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 250; trial++ {
+		g := dist.MustNewGrid(
+			dist.MustNew(r.Int63n(3)+1, r.Int63n(5)+1),
+			dist.MustNew(r.Int63n(3)+1, r.Int63n(5)+1),
+		)
+		extents := []int64{r.Int63n(40) + 10, r.Int63n(40) + 10}
+		mkSec := func(n int64) section.Section {
+			s := r.Int63n(5) + 1
+			lo := r.Int63n(n)
+			hi := min(n-1, lo+r.Int63n(3*s+10))
+			if r.Intn(3) == 0 {
+				return section.Section{Lo: hi, Hi: lo, Stride: -s}
+			}
+			return section.Section{Lo: lo, Hi: hi, Stride: s}
+		}
+		rect, err := section.NewRect(mkSec(extents[0]), mkSec(extents[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank := int64(0); rank < g.Procs(); rank++ {
+			coords := g.Coords(rank)
+			plan, err := NewPlan(g, coords, extents, rect)
+			if err != nil {
+				t.Fatalf("trial %d rect %v: %v", trial, rect, err)
+			}
+			want := bruteAddrs(g, coords, extents, rect)
+			got := plan.Addresses()
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if plan.Count() != int64(len(want)) {
+				t.Fatalf("trial %d rect %v proc %v: Count=%d, brute %d",
+					trial, rect, coords, plan.Count(), len(want))
+			}
+			// Plan orders row-major over owned per-dim lists; brute orders by
+			// global traversal. These coincide (per-dim owned subsequences
+			// preserve traversal order and dimensions are independent).
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d rect %v proc %v:\n got  %v\n want %v",
+					trial, rect, coords, got, want)
+			}
+		}
+	}
+}
+
+func TestPlanMatchesBrute3D(t *testing.T) {
+	g := dist.MustNewGrid(
+		dist.MustNew(2, 2),
+		dist.MustNew(1, 3),
+		dist.MustNew(3, 1),
+	)
+	extents := []int64{9, 8, 10}
+	rect, _ := section.NewRect(
+		section.MustNew(0, 8, 2),
+		section.MustNew(7, 1, -3),
+		section.MustNew(1, 9, 1),
+	)
+	for rank := int64(0); rank < g.Procs(); rank++ {
+		coords := g.Coords(rank)
+		plan, err := NewPlan(g, coords, extents, rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAddrs(g, coords, extents, rect)
+		if got := plan.Addresses(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("proc %v: got %v, want %v", coords, got, want)
+		}
+	}
+}
+
+func TestPlanEachMatchesAddresses(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 3), dist.MustNew(2, 2))
+	extents := []int64{20, 20}
+	rect, _ := section.NewRect(section.MustNew(1, 18, 3), section.MustNew(0, 19, 2))
+	plan, err := NewPlan(g, []int64{1, 0}, extents, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaEach []int64
+	plan.Each(func(lin int64) { viaEach = append(viaEach, lin) })
+	if !reflect.DeepEqual(viaEach, plan.Addresses()) {
+		t.Error("Each and Addresses disagree")
+	}
+}
+
+func TestPlanCoverage(t *testing.T) {
+	// Union over all processors covers every rect element exactly once
+	// (addresses are per-processor local, so count coverage, not values).
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(3, 2))
+	extents := []int64{15, 17}
+	rect, _ := section.NewRect(section.MustNew(0, 14, 2), section.MustNew(1, 16, 3))
+	var total int64
+	for rank := int64(0); rank < g.Procs(); rank++ {
+		plan, err := NewPlan(g, g.Coords(rank), extents, rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Addresses within a processor must be distinct.
+		a := plan.Addresses()
+		sorted := append([]int64(nil), a...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] == sorted[i-1] {
+				t.Fatalf("duplicate local address %d on rank %d", sorted[i], rank)
+			}
+		}
+		total += plan.Count()
+	}
+	if total != rect.Count() {
+		t.Errorf("total owned %d, rect has %d", total, rect.Count())
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 2))
+	rect2, _ := section.NewRect(section.MustNew(0, 3, 1), section.MustNew(0, 3, 1))
+	if _, err := NewPlan(g, []int64{0}, []int64{10, 10}, rect2); err == nil {
+		t.Error("coords rank mismatch should fail")
+	}
+	rect1, _ := section.NewRect(section.MustNew(0, 3, 1))
+	if _, err := NewPlan(g, []int64{0, 0}, []int64{10, 10}, rect1); err == nil {
+		t.Error("rect rank mismatch should fail")
+	}
+	rectOOB, _ := section.NewRect(section.MustNew(0, 50, 1), section.MustNew(0, 3, 1))
+	if _, err := NewPlan(g, []int64{0, 0}, []int64{10, 10}, rectOOB); err == nil {
+		t.Error("out-of-bounds section should fail")
+	}
+}
+
+func TestEmptyDimension(t *testing.T) {
+	g := dist.MustNewGrid(dist.MustNew(2, 2), dist.MustNew(2, 2))
+	rect, _ := section.NewRect(section.MustNew(5, 4, 1), section.MustNew(0, 9, 1))
+	plan, err := NewPlan(g, []int64{0, 0}, []int64{10, 10}, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count() != 0 || len(plan.Addresses()) != 0 {
+		t.Error("empty dimension should yield no addresses")
+	}
+	ran := false
+	plan.Each(func(int64) { ran = true })
+	if ran {
+		t.Error("Each on empty plan should not call f")
+	}
+}

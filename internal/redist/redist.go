@@ -1,0 +1,67 @@
+// Package redist changes the distribution of an array: cyclic(k) →
+// cyclic(k'), possibly with a different processor count. This is the
+// "block scattered" redistribution of ScaLAPACK-style dense linear
+// algebra (Dongarra, van de Geijn & Walker, cited in the paper's
+// Section 1): algorithms pick the block size that balances load and
+// locality per phase, and the runtime reshuffles the array between
+// phases.
+//
+// A redistribution is the degenerate array assignment B(0:n-1:1) =
+// A(0:n-1:1) between different layouts, so the whole implementation is a
+// thin layer over package comm's communication sets.
+package redist
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+	"repro/internal/section"
+)
+
+// Redistribute copies src into a new array with the target layout using
+// planned all-to-all communication on the machine. The machine needs at
+// least max(src procs, target procs) processors.
+func Redistribute(m *machine.Machine, src *hpf.Array, target dist.Layout) (*hpf.Array, error) {
+	dst, err := hpf.NewArray(target, src.N())
+	if err != nil {
+		return nil, err
+	}
+	if src.N() == 0 {
+		return dst, nil
+	}
+	whole := section.Section{Lo: 0, Hi: src.N() - 1, Stride: 1}
+	if err := comm.Copy(m, dst, whole, src, whole); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Plan precomputes the communication schedule of a redistribution without
+// executing it, for cost inspection (e.g. choosing k' to minimize data
+// motion).
+func Plan(src dist.Layout, n int64, target dist.Layout) (*comm.Plan, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("redist: negative array size %d", n)
+	}
+	if n == 0 {
+		return comm.NewPlan(target, 0, section.Section{Lo: 0, Hi: -1, Stride: 1},
+			src, 0, section.Section{Lo: 0, Hi: -1, Stride: 1})
+	}
+	whole := section.Section{Lo: 0, Hi: n - 1, Stride: 1}
+	return comm.NewPlan(target, n, whole, src, n, whole)
+}
+
+// StayVolume returns how many elements keep their owner under the plan —
+// the data that moves at memory speed rather than network speed. Defined
+// only when source and target processor sets coincide positionally.
+func StayVolume(p *comm.Plan) int64 {
+	var v int64
+	nn := min(p.NSrc, p.NDst)
+	for q := int64(0); q < nn; q++ {
+		v += p.Volume(q, q)
+	}
+	return v
+}

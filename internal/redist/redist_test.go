@@ -1,0 +1,120 @@
+package redist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+)
+
+func TestRedistributePreservesContents(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		p1 := r.Int63n(4) + 1
+		k1 := r.Int63n(8) + 1
+		p2 := r.Int63n(4) + 1
+		k2 := r.Int63n(8) + 1
+		n := r.Int63n(500) + 1
+		srcL := dist.MustNew(p1, k1)
+		dstL := dist.MustNew(p2, k2)
+		src := hpf.MustNewArray(srcL, n)
+		for i := int64(0); i < n; i++ {
+			src.Set(i, float64(i)*0.5)
+		}
+		m := machine.MustNew(int(max(p1, p2)))
+		dst, err := Redistribute(m, src, dstL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dst.Gather(), src.Gather()) {
+			t.Fatalf("trial %d: contents changed under %v -> %v", trial, srcL, dstL)
+		}
+		if dst.Layout() != dstL {
+			t.Error("target layout not applied")
+		}
+	}
+}
+
+func TestRedistributeRoundTrip(t *testing.T) {
+	srcL := dist.MustNew(4, 8)
+	dstL := dist.MustNew(3, 5)
+	src := hpf.MustNewArray(srcL, 200)
+	for i := int64(0); i < 200; i++ {
+		src.Set(i, float64(i*i))
+	}
+	m := machine.MustNew(4)
+	mid, err := Redistribute(m, src, dstL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Redistribute(m, mid, srcL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Gather(), src.Gather()) {
+		t.Error("round trip changed contents")
+	}
+}
+
+func TestRedistributeEmpty(t *testing.T) {
+	m := machine.MustNew(2)
+	src := hpf.MustNewArray(dist.MustNew(2, 2), 0)
+	dst, err := Redistribute(m, src, dist.MustNew(2, 4))
+	if err != nil || dst.N() != 0 {
+		t.Fatalf("empty redistribute: %v, n=%d", err, dst.N())
+	}
+}
+
+func TestPlanIdentityStaysLocal(t *testing.T) {
+	// Redistributing onto the same layout moves nothing off-processor.
+	l := dist.MustNew(4, 8)
+	plan, err := Plan(l, 320, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.TotalVolume(); got != 320 {
+		t.Errorf("TotalVolume = %d, want 320", got)
+	}
+	if got := StayVolume(plan); got != 320 {
+		t.Errorf("StayVolume = %d, want 320 (identity plan)", got)
+	}
+}
+
+func TestPlanBlockToCyclicVolume(t *testing.T) {
+	// block(64 over 4) -> cyclic over 4 on 256 elements: only elements
+	// whose block and cyclic owners coincide stay local.
+	src := dist.MustNew(4, 64)
+	dst := dist.MustNew(4, 1)
+	plan, err := Plan(src, 256, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalVolume() != 256 {
+		t.Errorf("TotalVolume = %d", plan.TotalVolume())
+	}
+	var wantStay int64
+	for i := int64(0); i < 256; i++ {
+		if src.Owner(i) == dst.Owner(i) {
+			wantStay++
+		}
+	}
+	if got := StayVolume(plan); got != wantStay {
+		t.Errorf("StayVolume = %d, want %d", got, wantStay)
+	}
+	if wantStay == 256 {
+		t.Error("test bug: block->cyclic should move data")
+	}
+}
+
+func TestPlanNegativeSize(t *testing.T) {
+	l := dist.MustNew(2, 2)
+	if _, err := Plan(l, -1, l); err == nil {
+		t.Error("negative size should fail")
+	}
+	if plan, err := Plan(l, 0, l); err != nil || plan.TotalVolume() != 0 {
+		t.Errorf("zero size plan: %v", err)
+	}
+}

@@ -1,0 +1,38 @@
+package section_test
+
+import (
+	"fmt"
+
+	"repro/internal/section"
+)
+
+func ExampleSection() {
+	s := section.MustNew(4, 40, 9)
+	fmt.Println("elements:", s.Slice())
+	fmt.Println("count:", s.Count())
+	fmt.Println("contains 22:", s.Contains(22))
+	// Output:
+	// elements: [4 13 22 31 40]
+	// count: 5
+	// contains 22: true
+}
+
+// Intersections of regular sections are regular sections, computed in
+// closed form — the primitive behind structured communication sets.
+func ExampleIntersect() {
+	a := section.MustNew(1, 100, 6) // 1, 7, 13, ...
+	b := section.MustNew(3, 100, 4) // 3, 7, 11, ...
+	common, ok := section.Intersect(a, b)
+	fmt.Println(ok, common)
+	// Output:
+	// true 7:91:12
+}
+
+// Descending sections normalize to ascending element sets.
+func ExampleSection_Ascending() {
+	d := section.MustNew(40, 4, -9)
+	asc, reversed := d.Ascending()
+	fmt.Println(asc, reversed)
+	// Output:
+	// 4:40:9 true
+}

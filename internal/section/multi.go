@@ -1,0 +1,142 @@
+package section
+
+import (
+	"fmt"
+	"iter"
+	"strings"
+)
+
+// Rect is a multidimensional regular section: the Cartesian product of one
+// Section per dimension, as in A(1:n:2, 3:m:5). Array subscripts in
+// different dimensions are independent (paper, Section 2), so most
+// address-generation questions reduce to per-dimension ones.
+type Rect []Section
+
+// NewRect builds a Rect, validating every dimension.
+func NewRect(dims ...Section) (Rect, error) {
+	for d, s := range dims {
+		if s.Stride == 0 {
+			return nil, fmt.Errorf("section: zero stride in dimension %d", d)
+		}
+	}
+	return Rect(append([]Section(nil), dims...)), nil
+}
+
+// Rank returns the number of dimensions.
+func (r Rect) Rank() int { return len(r) }
+
+// Count returns the total number of index vectors in the product.
+func (r Rect) Count() int64 {
+	n := int64(1)
+	for _, s := range r {
+		n *= s.Count()
+	}
+	return n
+}
+
+// Empty reports whether any dimension is empty.
+func (r Rect) Empty() bool {
+	for _, s := range r {
+		if s.Empty() {
+			return true
+		}
+	}
+	return len(r) == 0
+}
+
+// Contains reports whether the index vector is in the product.
+func (r Rect) Contains(index []int64) bool {
+	if len(index) != len(r) {
+		return false
+	}
+	for d, s := range r {
+		if !s.Contains(index[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the Rect in Fortran-style subscript notation.
+func (r Rect) String() string {
+	parts := make([]string, len(r))
+	for d, s := range r {
+		parts[d] = s.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// All iterates the index vectors in row-major order (last dimension
+// fastest), which matches C layout; Fortran column-major traversal is
+// AllColMajor. The yielded slice is reused across iterations; callers that
+// retain it must copy.
+func (r Rect) All() iter.Seq[[]int64] {
+	return func(yield func([]int64) bool) {
+		if r.Empty() {
+			return
+		}
+		counts := make([]int64, len(r))
+		for d, s := range r {
+			counts[d] = s.Count()
+		}
+		pos := make([]int64, len(r))
+		idx := make([]int64, len(r))
+		for {
+			for d, s := range r {
+				idx[d] = s.Element(pos[d])
+			}
+			if !yield(idx) {
+				return
+			}
+			d := len(r) - 1
+			for d >= 0 {
+				pos[d]++
+				if pos[d] < counts[d] {
+					break
+				}
+				pos[d] = 0
+				d--
+			}
+			if d < 0 {
+				return
+			}
+		}
+	}
+}
+
+// AllColMajor iterates the index vectors in column-major order (first
+// dimension fastest), the Fortran storage order. The yielded slice is
+// reused across iterations.
+func (r Rect) AllColMajor() iter.Seq[[]int64] {
+	return func(yield func([]int64) bool) {
+		if r.Empty() {
+			return
+		}
+		counts := make([]int64, len(r))
+		for d, s := range r {
+			counts[d] = s.Count()
+		}
+		pos := make([]int64, len(r))
+		idx := make([]int64, len(r))
+		for {
+			for d, s := range r {
+				idx[d] = s.Element(pos[d])
+			}
+			if !yield(idx) {
+				return
+			}
+			d := 0
+			for d < len(r) {
+				pos[d]++
+				if pos[d] < counts[d] {
+					break
+				}
+				pos[d] = 0
+				d++
+			}
+			if d == len(r) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package virtual implements the virtual-processor address enumeration
+// schemes of Gupta, Kaushik, Huang & Sadayappan that the paper compares
+// against in Section 7: a cyclic(k) distribution over p processors is
+// viewed as a pure cyclic or pure block distribution over a larger set of
+// virtual processors, each physical processor emulating several virtual
+// ones.
+//
+//   - Virtual-cyclic: the template is dealt cyclically to p·k virtual
+//     processors; physical processor m emulates virtual processors
+//     m·k … m·k+k−1. Section elements with the SAME block offset are
+//     visited in increasing index order, but elements at different
+//     offsets are visited offset-by-offset — NOT in global index order.
+//   - Virtual-block: the template is cut into blocks assigned to virtual
+//     processors round-robin; physical processor m visits its blocks
+//     (rows) in order and the section elements within each block in
+//     order, which IS increasing index order — but when the stride
+//     exceeds the block size most blocks are empty and the scheme
+//     degenerates to run-time resolution (Section 7).
+//
+// These generators exist to make the paper's comparison concrete: both
+// produce the same element sets as package core, but only the paper's
+// algorithm yields increasing-index order with O(k) table construction in
+// the general case.
+package virtual
+
+import (
+	"repro/internal/core"
+	"repro/internal/intmath"
+)
+
+// Access is one generated element: its global index and local memory
+// address under the owner's packed cyclic(k) layout.
+type Access struct {
+	Index, Local int64
+}
+
+// Cyclic enumerates the elements of the bounded section l:u:s owned by
+// processor m in VIRTUAL-CYCLIC order: offset class by offset class (in
+// increasing offset), increasing index within each class. The result
+// covers exactly the same elements as core's algorithms but generally not
+// in increasing global-index order.
+func Cyclic(pr core.Problem, u int64) ([]Access, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if u < pr.L {
+		return nil, nil
+	}
+	n := (u-pr.L)/pr.S + 1
+	pk := pr.P * pr.K
+	d, x, _ := intmath.ExtGCD(pr.S, pk)
+	nd := pk / d
+	var out []Access
+	// One virtual processor per offset in m's block, visited in offset
+	// order: this is exactly "only array elements that have the same
+	// offset are accessed in increasing order" (Section 7).
+	lo := pr.K*pr.M - pr.L
+	for i := intmath.CeilDiv(lo, d) * d; i < lo+pr.K; i += d {
+		j0 := intmath.MulModAuto(intmath.FloorMod(i, pk)/d, x, nd)
+		for j := j0; j < n; j += nd {
+			g := pr.L + j*pr.S
+			out = append(out, Access{
+				Index: g,
+				Local: intmath.FloorDiv(g, pk)*pr.K + intmath.FloorMod(g, pr.K),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Block enumerates the elements of the bounded section l:u:s owned by
+// processor m in VIRTUAL-BLOCK order: block (row) by block, increasing
+// index within each block. For cyclic(k) layouts this coincides with
+// increasing global-index order, because each processor's blocks occupy
+// disjoint, increasing index ranges.
+//
+// The scheme's cost is its weakness: it visits every owned block, even
+// the ones the section skips entirely, so for s > k most iterations do no
+// work (the degeneration to "run-time address resolution" noted in
+// Section 7).
+type BlockStats struct {
+	BlocksVisited int64 // rows examined, including empty ones
+	Elements      int64 // elements produced
+}
+
+// Block returns the accesses and the visit statistics.
+func Block(pr core.Problem, u int64) ([]Access, BlockStats, error) {
+	var stats BlockStats
+	if err := pr.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if u < pr.L {
+		return nil, stats, nil
+	}
+	pk := pr.P * pr.K
+	var out []Access
+	// Walk every block of processor m that intersects [l, u].
+	firstRow := intmath.FloorDiv(pr.L, pk)
+	if firstRow < 0 {
+		firstRow = intmath.FloorDiv(pr.L-pr.M*pr.K, pk) // conservative
+	}
+	lastRow := intmath.FloorDiv(u, pk)
+	for row := firstRow; row <= lastRow; row++ {
+		stats.BlocksVisited++
+		blockLo := row*pk + pr.M*pr.K
+		blockHi := blockLo + pr.K - 1
+		// First section element >= max(blockLo, l).
+		from := max(blockLo, pr.L)
+		j := intmath.CeilDiv(from-pr.L, pr.S)
+		for g := pr.L + j*pr.S; g <= blockHi && g <= u; g += pr.S {
+			if g < blockLo {
+				continue
+			}
+			out = append(out, Access{
+				Index: g,
+				Local: row*pr.K + intmath.FloorMod(g, pr.K),
+			})
+			stats.Elements++
+		}
+	}
+	return out, stats, nil
+}

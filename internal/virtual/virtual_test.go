@@ -1,0 +1,151 @@
+package virtual
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// bruteSet returns the (index, local) pairs of all owned section elements
+// in increasing index order.
+func bruteSet(pr core.Problem, u int64) []Access {
+	pk := pr.P * pr.K
+	var out []Access
+	for g := pr.L; g <= u; g += pr.S {
+		if (g%pk)/pr.K == pr.M {
+			out = append(out, Access{Index: g, Local: (g/pk)*pr.K + g%pr.K})
+		}
+	}
+	return out
+}
+
+func sortByIndex(a []Access) []Access {
+	c := slices.Clone(a)
+	slices.SortFunc(c, func(x, y Access) int {
+		switch {
+		case x.Index < y.Index:
+			return -1
+		case x.Index > y.Index:
+			return 1
+		}
+		return 0
+	})
+	return c
+}
+
+func TestSchemesCoverSameElements(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 400; trial++ {
+		p := r.Int63n(6) + 1
+		k := r.Int63n(10) + 1
+		s := r.Int63n(3*p*k) + 1
+		l := r.Int63n(2 * p * k)
+		u := l + r.Int63n(5*s*k+1)
+		m := r.Int63n(p)
+		pr := core.Problem{P: p, K: k, L: l, S: s, M: m}
+		want := bruteSet(pr, u)
+
+		cyc, err := Cyclic(pr, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(sortByIndex(cyc), want) {
+			t.Fatalf("%+v u=%d: cyclic covers %v, want %v", pr, u, sortByIndex(cyc), want)
+		}
+		blk, _, err := Block(pr, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(blk, want) {
+			t.Fatalf("%+v u=%d: block = %v, want %v", pr, u, blk, want)
+		}
+	}
+}
+
+func TestBlockOrderIsIncreasing(t *testing.T) {
+	pr := core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1}
+	blk, _, err := Block(pr, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(blk); i++ {
+		if blk[i].Index <= blk[i-1].Index {
+			t.Fatalf("block order not increasing at %d: %v", i, blk)
+		}
+	}
+}
+
+// TestCyclicOrderDiffersFromIndexOrder pins down the paper's Section 7
+// criticism: virtual-cyclic does NOT visit elements in increasing index
+// order (for patterns touching more than one offset).
+func TestCyclicOrderDiffersFromIndexOrder(t *testing.T) {
+	pr := core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1}
+	cyc, err := Cyclic(pr, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inOrder := true
+	for i := 1; i < len(cyc); i++ {
+		if cyc[i].Index < cyc[i-1].Index {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("virtual-cyclic unexpectedly produced increasing index order")
+	}
+}
+
+// TestCyclicOrderWithinOffsetClasses: within one offset class the order is
+// increasing (the property Gupta et al. do guarantee).
+func TestCyclicOrderWithinOffsetClasses(t *testing.T) {
+	pr := core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1}
+	cyc, err := Cyclic(pr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastByOffset := map[int64]int64{}
+	for _, a := range cyc {
+		off := a.Index % pr.K
+		if prev, ok := lastByOffset[off]; ok && a.Index <= prev {
+			t.Fatalf("offset class %d not increasing: %d after %d", off, a.Index, prev)
+		}
+		lastByOffset[off] = a.Index
+	}
+}
+
+// TestBlockDegeneratesForLargeStride reproduces the Section 7 observation:
+// when s >> k, virtual-block visits many empty blocks per element.
+func TestBlockDegeneratesForLargeStride(t *testing.T) {
+	pr := core.Problem{P: 4, K: 4, L: 0, S: 64, M: 0} // s = 4·pk
+	_, stats, err := Block(pr, 64*50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elements == 0 {
+		t.Fatal("expected some elements")
+	}
+	if stats.BlocksVisited < 3*stats.Elements {
+		t.Errorf("expected heavy degeneration: %d blocks for %d elements",
+			stats.BlocksVisited, stats.Elements)
+	}
+}
+
+func TestEmptyAndInvalid(t *testing.T) {
+	pr := core.Problem{P: 4, K: 8, L: 10, S: 3, M: 0}
+	if acc, err := Cyclic(pr, 5); err != nil || acc != nil {
+		t.Errorf("u < l should be empty: %v %v", acc, err)
+	}
+	if acc, _, err := Block(pr, 5); err != nil || acc != nil {
+		t.Errorf("u < l should be empty: %v %v", acc, err)
+	}
+	bad := core.Problem{P: 0, K: 8, L: 0, S: 3, M: 0}
+	if _, err := Cyclic(bad, 10); err == nil {
+		t.Error("invalid problem should fail")
+	}
+	if _, _, err := Block(bad, 10); err == nil {
+		t.Error("invalid problem should fail")
+	}
+}

@@ -1,0 +1,211 @@
+// Package viz renders ASCII versions of the paper's layout figures:
+// the element grid of a cyclic(k) distribution with section elements,
+// starting points and algorithm-visited points marked (Figures 1, 2, 4
+// and 6).
+//
+// Each row of the output is one course of blocks (pk template cells),
+// with processors separated by block boundaries. Cell annotations:
+//
+//	[n]  element of the regular section
+//	(n)  the section's lower bound
+//	{n}  point visited by the Figure 5 gap loop
+//	 n   unmarked element
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lattice"
+	"repro/internal/section"
+)
+
+// Mark selects the decoration of one cell.
+type Mark int
+
+// Cell decorations, in increasing precedence: when several marks apply to
+// one index, the highest wins.
+const (
+	None Mark = iota
+	Section
+	Visited
+	Start
+)
+
+// Marks maps global indices to decorations.
+type Marks map[int64]Mark
+
+// add sets m[i] to mk unless a higher-precedence mark is present.
+func (m Marks) add(i int64, mk Mark) {
+	if m[i] < mk {
+		m[i] = mk
+	}
+}
+
+// MarkSection marks every element of sec within [0, n).
+func (m Marks) MarkSection(sec section.Section, n int64) {
+	for _, g := range sec.Slice() {
+		if g >= 0 && g < n {
+			m.add(g, Section)
+		}
+	}
+}
+
+// MarkStart marks the section lower bound.
+func (m Marks) MarkStart(l int64) { m.add(l, Start) }
+
+// MarkVisits marks every point of a Figure 5 trace.
+func (m Marks) MarkVisits(trace []core.Visit, n int64) {
+	for _, v := range trace {
+		if v.Index >= 0 && v.Index < n {
+			m.add(v.Index, Visited)
+		}
+	}
+}
+
+// Layout renders the first n cells of the layout, one block row per line,
+// with the given marks. The header names the processors.
+func Layout(l dist.Layout, n int64, marks Marks) string {
+	var b strings.Builder
+	pk := l.RowLen()
+	width := len(fmt.Sprintf("%d", max64(n-1, 0)))
+	cellW := width + 2 // room for the widest decoration
+
+	// Header: one label per processor, centered over its block.
+	b.WriteString(renderHeader(l, cellW))
+	for base := int64(0); base < n; base += pk {
+		for m := int64(0); m < l.P(); m++ {
+			b.WriteString("|")
+			for off := int64(0); off < l.K(); off++ {
+				i := base + m*l.K() + off
+				if i >= n {
+					b.WriteString(strings.Repeat(" ", cellW+1))
+					continue
+				}
+				b.WriteString(" ")
+				b.WriteString(pad(decorate(i, marks[i], width), cellW))
+			}
+			b.WriteString(" ")
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+func renderHeader(l dist.Layout, cellW int) string {
+	var b strings.Builder
+	blockW := int(l.K())*(cellW+1) + 1 // matches the body's block width
+	for m := int64(0); m < l.P(); m++ {
+		label := fmt.Sprintf("proc %d", m)
+		if len(label) > blockW {
+			label = label[:blockW]
+		}
+		left := (blockW - len(label)) / 2
+		b.WriteString(strings.Repeat(" ", left+1))
+		b.WriteString(label)
+		b.WriteString(strings.Repeat(" ", blockW-left-len(label)))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func decorate(i int64, m Mark, width int) string {
+	num := fmt.Sprintf("%*d", width, i)
+	switch m {
+	case Start:
+		return "(" + num + ")"
+	case Section:
+		return "[" + num + "]"
+	case Visited:
+		return "{" + num + "}"
+	default:
+		return " " + num + " "
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Figure1 renders the paper's Figure 1: the cyclic(8)×4 layout of a
+// 320-element array with the section l=0, s=9 marked.
+func Figure1() string {
+	l := dist.MustNew(4, 8)
+	marks := Marks{}
+	marks.MarkSection(section.MustNew(0, 319, 9), 320)
+	marks.MarkStart(0)
+	return Layout(l, 320, marks)
+}
+
+// Figure6 renders the paper's Figure 6: the points visited by the gap
+// loop for p=4, k=8, l=4, s=9, m=1, plus the section start.
+func Figure6() (string, error) {
+	pr := core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1}
+	_, trace, err := core.LatticeTrace(pr)
+	if err != nil {
+		return "", err
+	}
+	l := dist.MustNew(4, 8)
+	const n = 320
+	marks := Marks{}
+	marks.MarkVisits(trace, n)
+	marks.MarkStart(4)
+	marks.add(13, Visited) // the start location itself is visited first
+	return Layout(l, n, marks), nil
+}
+
+// AMTable renders a Sequence as the "AM = [...]" line the paper prints.
+func AMTable(seq core.Sequence) string {
+	if seq.Empty() {
+		return "AM = [] (processor owns no section elements)"
+	}
+	parts := make([]string, len(seq.Gaps))
+	for i, g := range seq.Gaps {
+		parts[i] = fmt.Sprintf("%d", g)
+	}
+	return fmt.Sprintf("start=%d (local %d), AM = [%s]",
+		seq.Start, seq.StartLocal, strings.Join(parts, ", "))
+}
+
+// BasisFigure renders the paper's Figures 2/4 view: the layout with the
+// lattice points of section indices i·s (for one cycle of indices, lower
+// bound 0) marked, and the R/L basis endpoints highlighted as Start. The
+// marked points are exactly the elements the basis construction scans.
+func BasisFigure(p, k, s, n int64) (string, error) {
+	lat, err := lattice.New(p, k, s)
+	if err != nil {
+		return "", err
+	}
+	l := dist.MustNew(p, k)
+	marks := Marks{}
+	// One full cycle of section indices.
+	cycle := lat.P / lat.D
+	for i := int64(0); i <= cycle; i++ {
+		if g := i * s; g >= 0 && g < n {
+			marks.add(g, Section)
+		}
+	}
+	if basis, ok := lat.RL(); ok {
+		if g := basis.R.I * s; g >= 0 && g < n {
+			marks.add(g, Start)
+		}
+		// L's index is negative; mark the corresponding in-cycle point
+		// (L + one cycle), the "max" location of the Figure 5 scan.
+		if g := (basis.L.I + cycle) * s; g >= 0 && g < n {
+			marks.add(g, Start)
+		}
+	}
+	return Layout(l, n, marks), nil
+}

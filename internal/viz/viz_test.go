@@ -1,0 +1,157 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/section"
+)
+
+func TestLayoutBasicShape(t *testing.T) {
+	l := dist.MustNew(2, 3)
+	out := Layout(l, 12, Marks{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 2 full rows (12 cells / 6 per row).
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "proc 0") || !strings.Contains(lines[0], "proc 1") {
+		t.Errorf("header missing processor labels: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0") || !strings.Contains(lines[1], "5") {
+		t.Errorf("first row missing cells: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "11") {
+		t.Errorf("second row missing cell 11: %q", lines[2])
+	}
+}
+
+func TestLayoutPartialLastRow(t *testing.T) {
+	l := dist.MustNew(2, 3)
+	out := Layout(l, 8, Marks{}) // 6 cells in row 0, 2 in row 1
+	if !strings.Contains(out, "7") {
+		t.Errorf("cell 7 missing:\n%s", out)
+	}
+	if strings.Contains(out, " 8 ") {
+		t.Errorf("cell 8 should not exist:\n%s", out)
+	}
+}
+
+func TestMarksPrecedence(t *testing.T) {
+	m := Marks{}
+	m.add(5, Section)
+	m.add(5, Start)
+	if m[5] != Start {
+		t.Error("Start should override Section")
+	}
+	m.add(5, Section)
+	if m[5] != Start {
+		t.Error("lower mark must not downgrade")
+	}
+}
+
+func TestMarkSectionAndRender(t *testing.T) {
+	l := dist.MustNew(2, 4)
+	marks := Marks{}
+	marks.MarkSection(section.MustNew(1, 15, 3), 16)
+	marks.MarkStart(1)
+	out := Layout(l, 16, marks)
+	if !strings.Contains(out, "( 1)") {
+		t.Errorf("start not decorated:\n%s", out)
+	}
+	if !strings.Contains(out, "[ 4]") || !strings.Contains(out, "[13]") {
+		t.Errorf("section cells not decorated:\n%s", out)
+	}
+	if strings.Contains(out, "[ 2]") {
+		t.Errorf("non-section cell decorated:\n%s", out)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	out := Figure1()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // header + 10 rows of 32
+		t.Fatalf("Figure1 has %d lines, want 11", len(lines))
+	}
+	// Index 108 appears (Figure 1's example element) and section elements
+	// 0, 9, 18 are bracketed.
+	if !strings.Contains(out, "(  0)") {
+		t.Error("lower bound 0 not marked")
+	}
+	for _, cell := range []string{"[  9]", "[ 18]", "[108]", "[315]"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("section element %s not marked", cell)
+		}
+	}
+	// 108 = 9*12 is in the section; 100 is not.
+	if strings.Contains(out, "[100]") {
+		t.Error("element 100 wrongly marked")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	out, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The walk-through visits 40, 76, 103, 139, ..., 301; the start 13 and
+	// lower bound 4 are decorated.
+	for _, cell := range []string{"{ 13}", "{ 40}", "{ 76}", "{103}", "{301}", "(  4)"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("expected %s in Figure 6:\n%s", cell, out)
+		}
+	}
+	// Index 49 is examined but never visited in the paper's narrative; it
+	// must not be marked (it exceeds processor 1's range on the first step).
+	if strings.Contains(out, "{ 49}") {
+		t.Error("49 should not be a visited point")
+	}
+}
+
+func TestAMTable(t *testing.T) {
+	seq, err := core.Lattice(core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := AMTable(seq)
+	want := "start=13 (local 5), AM = [3, 12, 15, 12, 3, 12, 3, 12]"
+	if got != want {
+		t.Errorf("AMTable = %q, want %q", got, want)
+	}
+	empty := core.Sequence{Start: -1}
+	if !strings.Contains(AMTable(empty), "no section elements") {
+		t.Error("empty AMTable message wrong")
+	}
+}
+
+func TestBasisFigure(t *testing.T) {
+	out, err := BasisFigure(4, 8, 9, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R corresponds to index 36, the in-cycle L point to index 261
+	// (Section 4's example).
+	if !strings.Contains(out, "( 36)") {
+		t.Errorf("R endpoint 36 not highlighted:\n%s", out)
+	}
+	if !strings.Contains(out, "(261)") {
+		t.Errorf("L endpoint 261 not highlighted:\n%s", out)
+	}
+	// Ordinary cycle points are bracketed.
+	if !strings.Contains(out, "[  9]") {
+		t.Errorf("cycle point 9 not marked:\n%s", out)
+	}
+	if _, err := BasisFigure(0, 8, 9, 320); err == nil {
+		t.Error("invalid parameters should fail")
+	}
+	// Degenerate basis: no Start marks, but cycle still drawn.
+	out, err = BasisFigure(4, 1, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "(") && strings.Contains(out, ")") && strings.Contains(out, "( 0)") {
+		t.Errorf("degenerate case should not highlight a basis:\n%s", out)
+	}
+}
