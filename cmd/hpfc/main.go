@@ -6,6 +6,11 @@
 //	hpfc script.hpf        # run a script file
 //	hpfc -                 # read the script from stdin
 //	hpfc -demo             # run the built-in demo script
+//	hpfc -check script.hpf # statically analyze first, then run
+//
+// With -check, the internal/analysis passes (the same ones cmd/hpflint
+// runs) vet the script before execution: diagnostics go to stderr, and
+// error-severity findings stop the script from running at all.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/lang"
 )
 
@@ -51,14 +57,15 @@ stats
 
 func main() {
 	demo := flag.Bool("demo", false, "run the built-in demo script")
+	check := flag.Bool("check", false, "statically analyze the script before running it")
 	flag.Parse()
-	if err := run(*demo, flag.Args(), os.Stdin, os.Stdout); err != nil {
+	if err := run(*demo, *check, flag.Args(), os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "hpfc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(demo bool, args []string, stdin io.Reader, stdout io.Writer) error {
+func run(demo, check bool, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	var src string
 	switch {
 	case demo:
@@ -76,7 +83,16 @@ func run(demo bool, args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		src = string(b)
 	default:
-		return fmt.Errorf("usage: hpfc [-demo] [script.hpf | -]")
+		return fmt.Errorf("usage: hpfc [-demo] [-check] [script.hpf | -]")
+	}
+	if check {
+		diags := analysis.AnalyzeSource(src)
+		for _, d := range diags {
+			fmt.Fprintln(stderr, d)
+		}
+		if analysis.HasErrors(diags) {
+			return fmt.Errorf("check failed: script has errors")
+		}
 	}
 	in := lang.New()
 	if err := in.Run(src); err != nil {

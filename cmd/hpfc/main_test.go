@@ -9,7 +9,7 @@ import (
 
 func TestRunDemo(t *testing.T) {
 	var out strings.Builder
-	if err := run(true, nil, nil, &out); err != nil {
+	if err := run(true, false, nil, nil, &out, &strings.Builder{}); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -25,6 +25,26 @@ func TestRunDemo(t *testing.T) {
 	}
 }
 
+// TestRunDemoGolden pins the demo output byte-for-byte: the
+// parse-then-execute front end must not change what the interpreter
+// prints. Refresh with:
+//
+//	go run ./cmd/hpfc -demo > cmd/hpfc/testdata/demo.golden
+func TestRunDemoGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "demo.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(true, false, nil, nil, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("demo output diverged from golden file\ngot:\n%s\nwant:\n%s",
+			out.String(), want)
+	}
+}
+
 func TestRunFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "s.hpf")
 	script := "processors P(2)\narray A(10) distribute cyclic(2) onto P\nA = 3.0\nsum A\n"
@@ -32,7 +52,7 @@ func TestRunFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(false, []string{path}, nil, &out); err != nil {
+	if err := run(false, false, []string{path}, nil, &out, &strings.Builder{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "sum A(0:9:1) = 30") {
@@ -43,7 +63,7 @@ func TestRunFile(t *testing.T) {
 func TestRunStdin(t *testing.T) {
 	var out strings.Builder
 	in := strings.NewReader("processors P(2)\narray A(4) distribute cyclic onto P\nA = 1.0\nsum A\n")
-	if err := run(false, []string{"-"}, in, &out); err != nil {
+	if err := run(false, false, []string{"-"}, in, &out, &strings.Builder{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "sum A(0:3:1) = 4") {
@@ -52,14 +72,66 @@ func TestRunStdin(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(false, nil, nil, &strings.Builder{}); err == nil {
+	if err := run(false, false, nil, nil, &strings.Builder{}, &strings.Builder{}); err == nil {
 		t.Error("no args should fail")
 	}
-	if err := run(false, []string{"/nonexistent/script.hpf"}, nil, &strings.Builder{}); err == nil {
+	if err := run(false, false, []string{"/nonexistent/script.hpf"}, nil,
+		&strings.Builder{}, &strings.Builder{}); err == nil {
 		t.Error("missing file should fail")
 	}
 	in := strings.NewReader("bogus\n")
-	if err := run(false, []string{"-"}, in, &strings.Builder{}); err == nil {
+	if err := run(false, false, []string{"-"}, in,
+		&strings.Builder{}, &strings.Builder{}); err == nil {
 		t.Error("bad script should fail")
+	}
+}
+
+func TestCheckStopsErrors(t *testing.T) {
+	// Out-of-bounds section: -check must refuse to run the script.
+	var out, errOut strings.Builder
+	in := strings.NewReader("processors P(2)\narray A(10) distribute cyclic(2) onto P\nA(0:50) = 1.0\nsum A\n")
+	err := run(false, true, []string{"-"}, in, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "check failed") {
+		t.Fatalf("check should stop the script, got err=%v", err)
+	}
+	if !strings.Contains(errOut.String(), "HPF005") {
+		t.Errorf("stderr missing HPF005 diagnostic:\n%s", errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("script ran despite check errors:\n%s", out.String())
+	}
+}
+
+func TestCheckWarningsStillRun(t *testing.T) {
+	// An empty section is a warning: report it, then run anyway.
+	var out, errOut strings.Builder
+	in := strings.NewReader("processors P(2)\narray A(10) distribute cyclic(2) onto P\nA(5:4) = 1.0\nA = 2.0\nsum A\n")
+	if err := run(false, true, []string{"-"}, in, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "HPF006") {
+		t.Errorf("stderr missing HPF006 warning:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "sum A(0:9:1) = 20") {
+		t.Errorf("warnings must not stop execution:\n%s", out.String())
+	}
+}
+
+func TestCheckDemo(t *testing.T) {
+	// The built-in demo has no errors, so -check must let it run; its
+	// deliberate cross-distribution copy (cyclic(8) -> cyclic(5)) is
+	// exactly what the communication-cost lint exists to flag.
+	var out, errOut strings.Builder
+	if err := run(true, true, nil, nil, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "HPF010") {
+		t.Errorf("demo's cross-distribution copy should warn HPF010:\n%s", errOut.String())
+	}
+	if strings.Contains(errOut.String(), "error[") {
+		t.Errorf("demo script should have no errors:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "AM = [3, 12, 15, 12, 3, 12, 3, 12]") {
+		t.Errorf("demo did not run under -check:\n%s", out.String())
 	}
 }

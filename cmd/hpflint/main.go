@@ -1,0 +1,106 @@
+// Command hpflint statically analyzes mini-HPF scripts without running
+// them. It parses each script with the same grammar the interpreter
+// executes (internal/lang/ast) and runs the internal/analysis passes:
+// declaration checking, section bounds, shape conformance, distribution
+// tracking across redistribute, int64-overflow guards on the lattice
+// parameters, and a communication-cost lint.
+//
+//	hpflint script.hpf            # lint one or more script files
+//	hpflint -                     # lint a script from stdin
+//	hpflint -json script.hpf      # machine-readable diagnostics
+//
+// Text diagnostics have the shape
+//
+//	script.hpf:7:1: error[HPF005]: section 0:400:1 outside A extent [0, 320)
+//
+// hpflint exits 1 when any error-severity diagnostic was reported, 2 on
+// usage or I/O problems, and 0 otherwise (a clean script, or warnings
+// only).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// fileDiagnostic is a diagnostic tagged with the script it came from,
+// the unit of -json output.
+type fileDiagnostic struct {
+	File string `json:"file"`
+	analysis.Diagnostic
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hpflint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: hpflint [-json] [script.hpf ... | -]")
+		return 2
+	}
+
+	var all []fileDiagnostic
+	hasErrors := false
+	for _, name := range fs.Args() {
+		src, display, err := readScript(name, stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, "hpflint:", err)
+			return 2
+		}
+		diags := analysis.AnalyzeSource(src)
+		if analysis.HasErrors(diags) {
+			hasErrors = true
+		}
+		for _, d := range diags {
+			all = append(all, fileDiagnostic{File: display, Diagnostic: d})
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []fileDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "hpflint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(stdout, "%s:%s\n", d.File, d.Diagnostic)
+		}
+	}
+	if hasErrors {
+		return 1
+	}
+	return 0
+}
+
+// readScript loads one input: a file path, or "-" for stdin.
+func readScript(name string, stdin io.Reader) (src, display string, err error) {
+	if name == "-" {
+		b, err := io.ReadAll(stdin)
+		if err != nil {
+			return "", "", err
+		}
+		return string(b), "<stdin>", nil
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		return "", "", err
+	}
+	return string(b), name, nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeScript(t *testing.T, script string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.hpf")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintCleanScript(t *testing.T) {
+	path := writeScript(t, "processors P(2)\narray A(10) distribute cyclic(2) onto P\nA = 1.0\nsum A\n")
+	var out, errOut strings.Builder
+	if code := run([]string{path}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("clean script: exit %d, stderr %q", code, errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean script should print nothing, got %q", out.String())
+	}
+}
+
+func TestLintErrorsExitNonzero(t *testing.T) {
+	path := writeScript(t, "processors P(2)\narray A(10) distribute cyclic(2) onto P\nA(0:50) = 1.0\n")
+	var out, errOut strings.Builder
+	if code := run([]string{path}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("script with errors: exit %d, want 1", code)
+	}
+	got := out.String()
+	if !strings.Contains(got, "error[HPF005]") {
+		t.Errorf("missing HPF005 diagnostic: %q", got)
+	}
+	if !strings.HasPrefix(got, path+":3:1:") {
+		t.Errorf("diagnostic not prefixed with file:line:col: %q", got)
+	}
+}
+
+func TestLintWarningsExitZero(t *testing.T) {
+	path := writeScript(t, "processors P(2)\narray A(10) distribute cyclic(2) onto P\nA(5:4) = 1.0\n")
+	var out, errOut strings.Builder
+	if code := run([]string{path}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("warnings only: exit %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "warning[HPF006]") {
+		t.Errorf("missing HPF006 warning: %q", out.String())
+	}
+}
+
+func TestLintStdin(t *testing.T) {
+	var out, errOut strings.Builder
+	in := strings.NewReader("bogus\n")
+	if code := run([]string{"-"}, in, &out, &errOut); code != 1 {
+		t.Fatalf("stdin with syntax error: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "<stdin>:1:1: error[HPF001]") {
+		t.Errorf("stdin diagnostic wrong: %q", out.String())
+	}
+}
+
+func TestLintJSON(t *testing.T) {
+	path := writeScript(t, "processors P(2)\narray A(10) distribute cyclic(2) onto P\nA(0:50) = 1.0\nA(5:4) = 1.0\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", path}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("json run: exit %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Code     string `json:"code"`
+		Severity string `json:"severity"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %v", diags)
+	}
+	if diags[0].Code != "HPF005" || diags[0].Severity != "error" || diags[0].Line != 3 {
+		t.Errorf("first diagnostic wrong: %+v", diags[0])
+	}
+	if diags[1].Code != "HPF006" || diags[1].Severity != "warning" {
+		t.Errorf("second diagnostic wrong: %+v", diags[1])
+	}
+	if diags[0].File != path {
+		t.Errorf("file field wrong: %+v", diags[0])
+	}
+}
+
+func TestLintJSONClean(t *testing.T) {
+	path := writeScript(t, "processors P(2)\narray A(10) distribute cyclic(2) onto P\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", path}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("clean json run: exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output should be [], got %q", out.String())
+	}
+}
+
+func TestLintMultipleFiles(t *testing.T) {
+	good := writeScript(t, "processors P(2)\narray A(10) distribute cyclic(2) onto P\n")
+	bad := writeScript(t, "bogus\n")
+	var out, errOut strings.Builder
+	if code := run([]string{good, bad}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("mixed files: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), bad+":1:1:") {
+		t.Errorf("bad file not reported: %q", out.String())
+	}
+}
+
+func TestLintUsageAndIOErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/x.hpf"}, nil, &out, &errOut); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

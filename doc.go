@@ -11,6 +11,15 @@
 // alignment support, and a distributed-array runtime with communication
 // set generation running on a simulated multiprocessor.
 //
+// A miniature HPF-flavored script language drives the runtime end to
+// end: internal/lang/ast parses scripts to a typed AST shared by the
+// interpreter (internal/lang) and the static analyzer
+// (internal/analysis), which checks declarations, section bounds, shape
+// conformance, int64 overflow of the lattice parameters, and
+// communication cost, emitting stable HPF001–HPF012 diagnostics.
+// cmd/hpflint lints scripts without executing them; cmd/hpfc -check
+// lints before running.
+//
 // Start with internal/core (the algorithms), internal/dist (the
 // distributions) and examples/quickstart. DESIGN.md maps every paper
 // section, table and figure to the code that reproduces it; the root

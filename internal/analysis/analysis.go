@@ -1,0 +1,213 @@
+// Package analysis is a static analyzer for mini-HPF scripts. It walks
+// the typed syntax tree of internal/lang/ast — the same tree the
+// interpreter executes — and reports, before anything runs:
+//
+//   - undeclared or redeclared processors and arrays (HPF002–HPF004)
+//   - sections outside the declared extents (HPF005)
+//   - empty sections, descending sections and zero strides
+//     (HPF006, HPF007, HPF011)
+//   - shape non-conformance in copies, elementwise ops and transposes
+//     (HPF008)
+//   - int64 overflow in the lattice parameters p·k and pk·s + l that the
+//     AM-table machinery computes with (HPF009)
+//   - section copies between incompatible cyclic(k) layouts, which force
+//     all-to-all communication (HPF010)
+//   - table statements naming processors outside the arrangement (HPF012)
+//
+// The analyzer tracks the *current* distribution of every array across
+// redistribute statements, so layout-sensitive checks apply to the
+// layout an array will actually have when a statement runs.
+//
+// Checks are organized as composable passes (see Pass); Analyze runs
+// DefaultPasses over each statement in order, updating the symbol table
+// between statements.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/intmath"
+	"repro/internal/lang/ast"
+)
+
+// Layout is the analyzer's view of one dimension's distribution: a
+// cyclic(K) layout over P processors. P == 0 means unknown (the array
+// was declared onto an unknown arrangement); layout-sensitive checks
+// skip unknown layouts.
+type Layout struct {
+	P, K int64
+}
+
+// known reports whether the layout was resolved at declaration time.
+func (l Layout) known() bool { return l.P > 0 && l.K > 0 }
+
+// ArrayInfo is the symbol-table entry for a declared array.
+type ArrayInfo struct {
+	Name    string
+	DeclPos ast.Pos
+	Extents []int64  // per-dimension sizes; len is the rank (1 or 2)
+	Layouts []Layout // per-dimension current distribution
+}
+
+// Rank returns the array's dimensionality.
+func (a *ArrayInfo) Rank() int { return len(a.Extents) }
+
+// Checker carries the symbol table and accumulated diagnostics while
+// passes walk a script.
+type Checker struct {
+	diags    []Diagnostic
+	flatName string
+	flatP    int64
+	grids    map[string][]int64
+	arrays   map[string]*ArrayInfo
+}
+
+// Report appends a diagnostic at pos.
+func (c *Checker) Report(code string, sev Severity, pos ast.Pos, msg string) {
+	c.diags = append(c.diags, Diagnostic{
+		Code: code, Severity: sev, Line: pos.Line, Col: pos.Col, Message: msg,
+	})
+}
+
+// Array returns the symbol-table entry for name, or nil.
+func (c *Checker) Array(name string) *ArrayInfo { return c.arrays[name] }
+
+// Pass is one composable analysis: Check is called once per statement,
+// in script order, before the symbol table absorbs that statement.
+type Pass struct {
+	Name  string
+	Check func(c *Checker, st ast.Stmt)
+}
+
+// DefaultPasses returns the standard pass list in reporting order.
+func DefaultPasses() []Pass {
+	return []Pass{
+		{Name: "decls", Check: checkDecls},
+		{Name: "bounds", Check: checkBounds},
+		{Name: "shape", Check: checkShape},
+		{Name: "overflow", Check: checkOverflow},
+		{Name: "commcost", Check: checkCommCost},
+	}
+}
+
+// Analyze runs the given passes (DefaultPasses when none are given) over
+// a parsed script and returns the diagnostics sorted by position.
+func Analyze(sc *ast.Script, passes ...Pass) []Diagnostic {
+	if len(passes) == 0 {
+		passes = DefaultPasses()
+	}
+	c := &Checker{
+		grids:  map[string][]int64{},
+		arrays: map[string]*ArrayInfo{},
+	}
+	for _, st := range sc.Stmts {
+		for _, p := range passes {
+			p.Check(c, st)
+		}
+		c.track(st)
+	}
+	sortDiags(c.diags)
+	return c.diags
+}
+
+// AnalyzeSource parses src (collecting every line's syntax error as an
+// HPF001 diagnostic) and analyzes the statements that did parse.
+func AnalyzeSource(src string) []Diagnostic {
+	sc, perrs := ast.ParseAll(src)
+	diags := make([]Diagnostic, 0, len(perrs))
+	for _, pe := range perrs {
+		diags = append(diags, Diagnostic{
+			Code: CodeSyntax, Severity: Error,
+			Line: pe.Pos.Line, Col: pe.Pos.Col, Message: pe.Msg,
+		})
+	}
+	diags = append(diags, Analyze(sc)...)
+	sortDiags(diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Code < diags[j].Code
+	})
+}
+
+// track updates the symbol table with a statement's declarations and
+// redistributions. It never reports; the decls pass does.
+func (c *Checker) track(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.Processors:
+		if len(s.Counts) == 1 {
+			if c.flatName == "" {
+				if _, isGrid := c.grids[s.Name]; !isGrid {
+					c.flatName = s.Name
+					c.flatP = s.Counts[0]
+				}
+			}
+			return
+		}
+		if _, dup := c.grids[s.Name]; !dup && s.Name != c.flatName {
+			c.grids[s.Name] = append([]int64(nil), s.Counts...)
+		}
+	case *ast.ArrayDecl:
+		if _, dup := c.arrays[s.Name]; dup {
+			return
+		}
+		info := &ArrayInfo{
+			Name:    s.Name,
+			DeclPos: s.Pos(),
+			Extents: append([]int64(nil), s.Extents...),
+			Layouts: make([]Layout, len(s.Extents)),
+		}
+		procs := c.declProcs(s)
+		for d := range s.Dists {
+			if procs != nil {
+				info.Layouts[d] = resolveLayout(s.Dists[d], procs[d], s.Extents[d])
+			}
+		}
+		c.arrays[s.Name] = info
+	case *ast.Redistribute:
+		info := c.arrays[s.Name]
+		if info == nil || info.Rank() != 1 || !info.Layouts[0].known() {
+			return
+		}
+		info.Layouts[0] = resolveLayout(s.Dist, info.Layouts[0].P, info.Extents[0])
+	}
+}
+
+// declProcs returns the per-dimension processor counts a declaration
+// lands on, or nil when the target arrangement is unknown.
+func (c *Checker) declProcs(s *ast.ArrayDecl) []int64 {
+	if len(s.Extents) == 1 {
+		if c.flatName != "" && s.Target == c.flatName {
+			return []int64{c.flatP}
+		}
+		return nil
+	}
+	if dims, ok := c.grids[s.Target]; ok {
+		return dims
+	}
+	return nil
+}
+
+// resolveLayout lowers a distribution spec to a concrete cyclic(k)
+// layout: block is cyclic(ceil(n/p)), cyclic is cyclic(1).
+func resolveLayout(spec ast.DistSpec, p, n int64) Layout {
+	if p < 1 {
+		return Layout{}
+	}
+	switch spec.Kind {
+	case ast.DistBlock:
+		return Layout{P: p, K: intmath.CeilDiv(n, p)}
+	case ast.DistCyclic:
+		return Layout{P: p, K: 1}
+	default:
+		return Layout{P: p, K: spec.K}
+	}
+}

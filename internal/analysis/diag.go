@@ -1,0 +1,67 @@
+package analysis
+
+import "fmt"
+
+// Severity ranks a diagnostic: errors would fail or miscompute at run
+// time, warnings flag suspicious-but-legal constructs.
+type Severity int
+
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalText lets Severity serialize as "error"/"warning" in -json
+// output.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Stable diagnostic codes. Codes are part of the tool's interface: they
+// appear in golden tests, editor integrations and suppression lists, so
+// they are never renumbered.
+const (
+	CodeSyntax          = "HPF001" // statement does not parse
+	CodeUndeclaredProcs = "HPF002" // unknown processor arrangement/grid
+	CodeUndeclaredArray = "HPF003" // reference to an undeclared array
+	CodeRedeclared      = "HPF004" // processors or array declared twice
+	CodeBounds          = "HPF005" // section outside the declared extent
+	CodeEmptySection    = "HPF006" // section selects no elements
+	CodeNegativeStride  = "HPF007" // descending section (reversed order)
+	CodeShape           = "HPF008" // rank or element-count non-conformance
+	CodeOverflow        = "HPF009" // p·k or pk·s + l overflows int64
+	CodeAllToAll        = "HPF010" // copy between incompatible layouts
+	CodeZeroStride      = "HPF011" // zero stride in a triplet
+	CodeTableProc       = "HPF012" // table processor outside 0..p-1
+)
+
+// Diagnostic is one analyzer finding, anchored to a source position.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+}
+
+// String renders "line:col: severity[CODE]: message", the format used by
+// hpflint's text output and the golden-file tests.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%d:%d: %s[%s]: %s", d.Line, d.Col, d.Severity, d.Code, d.Message)
+}
+
+// HasErrors reports whether any diagnostic in the list is an error.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}

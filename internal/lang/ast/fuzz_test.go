@@ -1,0 +1,87 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine asserts the parser never panics: any input must yield a
+// statement, a *ParseError, or (for blanks and comments) nil, nil.
+func FuzzParseLine(f *testing.F) {
+	seeds := []string{
+		"processors P(4)",
+		"processors Q(2,2)",
+		"array A(320) distribute cyclic(8) onto P",
+		"array M(16,24) distribute (cyclic(2),block) onto Q",
+		"redistribute A cyclic(16)",
+		"redistribute M (block,cyclic(3))",
+		"A(4:319:9) = 100.0",
+		"B(0:70:2) = A(4:319:9)",
+		"B(0:9) = A(0:9) + A(10:19)",
+		"N(0:23, 0:15) = transpose M(0:15, 0:23)",
+		"print A(0:3)",
+		"sum A",
+		"table A(4:319:9) on 1",
+		"stats",
+		"! comment",
+		"",
+		// malformed triplets and refs
+		"A(0:1:2:3) = 1.0",
+		"A(::) = 1.0",
+		"A(:,:) = 1.0",
+		"A(5) = 1.0",
+		"A() = 1.0",
+		"A(0:4 = 1.0",
+		"A(0:5:0) = 1.0",
+		"A(9:0:-2) = 1.0",
+		"array A(10) distribute cyclic( onto P",
+		"processors P(",
+		"table A(0:5) on",
+		"= = =",
+		"(((((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		st, err := ParseLine(line, 1)
+		if err != nil {
+			if !strings.Contains(err.Error(), "line 1:") {
+				t.Errorf("ParseLine(%q) error lacks line prefix: %v", line, err)
+			}
+			return
+		}
+		if st == nil {
+			return
+		}
+		// A parsed statement must round-trip through its accessors.
+		if st.Pos().Line != 1 {
+			t.Errorf("ParseLine(%q) statement line = %d", line, st.Pos().Line)
+		}
+		_ = st.Text()
+		for _, r := range Refs(st) {
+			_ = r.String()
+		}
+	})
+}
+
+// FuzzParseAll asserts whole-script parsing never panics and reports
+// errors with positive line numbers.
+func FuzzParseAll(f *testing.F) {
+	f.Add("processors P(4)\narray A(320) distribute cyclic(8) onto P\nA = 1.0\n")
+	f.Add("bogus\nprocessors P(2)\nworse(\n")
+	f.Add("processors Q(2,2)\narray M(8,8) distribute (block,block) onto Q\nM(0:7,0:7) = 1.0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		sc, errs := ParseAll(src)
+		for _, e := range errs {
+			if e.Pos.Line < 1 {
+				t.Errorf("parse error with bad line: %v", e)
+			}
+		}
+		for _, st := range sc.Stmts {
+			if st.Pos().Line < 1 {
+				t.Errorf("statement with bad line: %v", st.Pos())
+			}
+		}
+	})
+}

@@ -1,0 +1,435 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a whole script, stopping at the first syntax error. The
+// returned error, if any, is a *ParseError carrying line and column.
+func Parse(src string) (*Script, error) {
+	sc := &Script{}
+	for ln, line := range strings.Split(src, "\n") {
+		st, err := ParseLine(line, ln+1)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			sc.Stmts = append(sc.Stmts, st)
+		}
+	}
+	return sc, nil
+}
+
+// ParseAll parses a whole script, collecting every line's syntax error
+// instead of stopping at the first. Lines that fail to parse are dropped
+// from the script; the analyzer reports them as diagnostics.
+func ParseAll(src string) (*Script, []*ParseError) {
+	sc := &Script{}
+	var errs []*ParseError
+	for ln, line := range strings.Split(src, "\n") {
+		st, err := ParseLine(line, ln+1)
+		if err != nil {
+			var pe *ParseError
+			if perr, ok := err.(*ParseError); ok {
+				pe = perr
+			} else {
+				pe = &ParseError{Pos: Pos{Line: ln + 1, Col: 1}, Msg: err.Error()}
+			}
+			errs = append(errs, pe)
+			continue
+		}
+		if st != nil {
+			sc.Stmts = append(sc.Stmts, st)
+		}
+	}
+	return sc, errs
+}
+
+// ParseLine parses a single statement. Blank lines and comments yield a
+// nil Stmt and nil error.
+func ParseLine(line string, lineNo int) (Stmt, error) {
+	if i := strings.Index(line, "!"); i >= 0 {
+		line = line[:i]
+	}
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" {
+		return nil, nil
+	}
+	col := len(line) - len(strings.TrimLeft(line, " \t")) + 1
+	p := &lineParser{
+		text: trimmed,
+		pos:  Pos{Line: lineNo, Col: col},
+		base: stmtBase{pos: Pos{Line: lineNo, Col: col}, text: trimmed},
+	}
+	return p.parseStmt()
+}
+
+// lineParser holds the context for parsing one statement.
+type lineParser struct {
+	text string
+	pos  Pos
+	base stmtBase
+}
+
+func (p *lineParser) errf(format string, args ...any) *ParseError {
+	return &ParseError{Pos: p.pos, Stmt: p.text, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) parseStmt() (Stmt, error) {
+	fields := strings.Fields(p.text)
+	switch fields[0] {
+	case "processors":
+		return p.parseProcessors(fields)
+	case "array":
+		return p.parseArrayDecl(fields)
+	case "redistribute":
+		return p.parseRedistribute(fields)
+	case "print":
+		return p.parsePrintSum(fields, true)
+	case "sum":
+		return p.parsePrintSum(fields, false)
+	case "table":
+		return p.parseTable(fields)
+	case "stats":
+		if len(fields) != 1 {
+			return nil, p.errf("usage: stats")
+		}
+		return &Stats{stmtBase: p.base}, nil
+	default:
+		if strings.Contains(p.text, "=") {
+			return p.parseAssign()
+		}
+		return nil, p.errf("unknown statement %q", fields[0])
+	}
+}
+
+// parseProcessors handles "processors P(4)" and "processors Q(2,2)".
+func (p *lineParser) parseProcessors(fields []string) (Stmt, error) {
+	if len(fields) != 2 {
+		return nil, p.errf("usage: processors NAME(count[,count])")
+	}
+	name, args, err := p.splitCall(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != 1 && len(args) != 2 {
+		return nil, p.errf("processors takes one or two counts, got %d", len(args))
+	}
+	counts := make([]int64, len(args))
+	for i, a := range args {
+		v, perr := strconv.ParseInt(a, 10, 64)
+		if perr != nil || v < 1 {
+			return nil, p.errf("invalid processor count %q", a)
+		}
+		counts[i] = v
+	}
+	return &Processors{stmtBase: p.base, Name: name, Counts: counts}, nil
+}
+
+// parseArrayDecl handles
+//
+//	array A(320) distribute cyclic(8) onto P
+//	array M(16,24) distribute (cyclic(2),cyclic(3)) onto Q
+func (p *lineParser) parseArrayDecl(fields []string) (Stmt, error) {
+	if len(fields) != 6 || fields[2] != "distribute" || fields[4] != "onto" {
+		return nil, p.errf("usage: array NAME(size[,size]) distribute SPEC onto PROCS")
+	}
+	name, args, err := p.splitCall(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	switch len(args) {
+	case 1:
+		n, perr := strconv.ParseInt(args[0], 10, 64)
+		if perr != nil || n < 1 {
+			return nil, p.errf("invalid array size %q", args[0])
+		}
+		spec, serr := p.parseDistSpec(fields[3])
+		if serr != nil {
+			return nil, serr
+		}
+		return &ArrayDecl{stmtBase: p.base, Name: name,
+			Extents: []int64{n}, Dists: []DistSpec{spec}, Target: fields[5]}, nil
+	case 2:
+		extents := make([]int64, 2)
+		for i, e := range args {
+			v, perr := strconv.ParseInt(e, 10, 64)
+			if perr != nil || v < 1 {
+				return nil, p.errf("invalid extent %q", e)
+			}
+			extents[i] = v
+		}
+		spec := fields[3]
+		if !strings.HasPrefix(spec, "(") || !strings.HasSuffix(spec, ")") {
+			return nil, p.errf("2-D distribution must be (spec,spec), got %q", spec)
+		}
+		parts := strings.Split(spec[1:len(spec)-1], ",")
+		if len(parts) != 2 {
+			return nil, p.errf("2-D distribution needs 2 specs, got %d", len(parts))
+		}
+		dists := make([]DistSpec, 2)
+		for d, ps := range parts {
+			ds, serr := p.parseDistSpec(strings.TrimSpace(ps))
+			if serr != nil {
+				return nil, serr
+			}
+			dists[d] = ds
+		}
+		return &ArrayDecl{stmtBase: p.base, Name: name,
+			Extents: extents, Dists: dists, Target: fields[5]}, nil
+	default:
+		return nil, p.errf("array %s needs exactly one extent", name)
+	}
+}
+
+// parseDistSpec parses block, cyclic or cyclic(k).
+func (p *lineParser) parseDistSpec(s string) (DistSpec, *ParseError) {
+	switch {
+	case s == "block":
+		return DistSpec{Kind: DistBlock}, nil
+	case s == "cyclic":
+		return DistSpec{Kind: DistCyclic}, nil
+	case strings.HasPrefix(s, "cyclic(") && strings.HasSuffix(s, ")"):
+		k, err := strconv.ParseInt(s[len("cyclic("):len(s)-1], 10, 64)
+		if err != nil || k < 1 {
+			return DistSpec{}, p.errf("invalid block size in %q", s)
+		}
+		return DistSpec{Kind: DistCyclicK, K: k}, nil
+	default:
+		return DistSpec{}, p.errf("unknown distribution %q", s)
+	}
+}
+
+// parseRedistribute handles "redistribute A cyclic(16)".
+func (p *lineParser) parseRedistribute(fields []string) (Stmt, error) {
+	if len(fields) != 3 {
+		return nil, p.errf("usage: redistribute NAME cyclic(k)|cyclic|block")
+	}
+	if !validIdent(fields[1]) {
+		return nil, p.errf("malformed array name %q", fields[1])
+	}
+	spec, err := p.parseDistSpec(fields[2])
+	if err != nil {
+		return nil, err
+	}
+	return &Redistribute{stmtBase: p.base, Name: fields[1], Dist: spec}, nil
+}
+
+// parsePrintSum handles "print REF" and "sum REF". The reference may
+// contain spaces (print M(0:3, 0:3)); concatenating the fields removes
+// them.
+func (p *lineParser) parsePrintSum(fields []string, isPrint bool) (Stmt, error) {
+	verb := "sum"
+	if isPrint {
+		verb = "print"
+	}
+	if len(fields) < 2 {
+		return nil, p.errf("usage: %s NAME(lo:hi:stride)", verb)
+	}
+	ref, err := p.parseRef(strings.Join(fields[1:], ""))
+	if err != nil {
+		return nil, err
+	}
+	if isPrint {
+		return &Print{stmtBase: p.base, Ref: ref}, nil
+	}
+	return &Sum{stmtBase: p.base, Ref: ref}, nil
+}
+
+// parseTable handles "table A(4:319:9) on 1".
+func (p *lineParser) parseTable(fields []string) (Stmt, error) {
+	if len(fields) != 4 || fields[2] != "on" {
+		return nil, p.errf("usage: table NAME(lo:hi:stride) on PROC")
+	}
+	ref, err := p.parseRef(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	m, perr := strconv.ParseInt(fields[3], 10, 64)
+	if perr != nil {
+		return nil, p.errf("invalid processor %q", fields[3])
+	}
+	return &Table{stmtBase: p.base, Ref: ref, Proc: m}, nil
+}
+
+// parseAssign handles LHS = RHS.
+func (p *lineParser) parseAssign() (Stmt, error) {
+	parts := strings.SplitN(p.text, "=", 2)
+	lhsText := strings.TrimSpace(parts[0])
+	rhsText := strings.TrimSpace(parts[1])
+	if lhsText == "" {
+		return nil, p.errf("empty left-hand side")
+	}
+	if rhsText == "" {
+		return nil, p.errf("empty right-hand side")
+	}
+	lhs, err := p.parseRef(lhsText)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr(rhsText)
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{stmtBase: p.base, LHS: lhs, RHS: rhs}, nil
+}
+
+// parseExpr parses an assignment right-hand side: a scalar literal,
+// "transpose REF", "REF op (REF|scalar)" or a plain REF.
+func (p *lineParser) parseExpr(rhs string) (Expr, error) {
+	if v, err := strconv.ParseFloat(rhs, 64); err == nil {
+		return &Scalar{Val: v}, nil
+	}
+	if rest, ok := strings.CutPrefix(rhs, "transpose "); ok {
+		ref, err := p.parseRef(strings.TrimSpace(rest))
+		if err != nil {
+			return nil, err
+		}
+		return &Transpose{Src: ref}, nil
+	}
+	if left, op, right, found := splitBinary(rhs); found {
+		lref, err := p.parseRef(left)
+		if err != nil {
+			return nil, p.errf("left operand %q: %s", left, parseMsg(err))
+		}
+		if v, ferr := strconv.ParseFloat(right, 64); ferr == nil {
+			return &Binary{Op: op, Left: lref, Right: &Scalar{Val: v}}, nil
+		}
+		rref, err := p.parseRef(right)
+		if err != nil {
+			return nil, p.errf("right operand %q: %s", right, parseMsg(err))
+		}
+		return &Binary{Op: op, Left: lref, Right: rref}, nil
+	}
+	return p.parseRef(rhs)
+}
+
+// parseMsg extracts the bare message from a nested *ParseError so
+// operand errors read "left operand "x": malformed ..." without a
+// duplicated line prefix.
+func parseMsg(err error) string {
+	if pe, ok := err.(*ParseError); ok {
+		return pe.Msg
+	}
+	return err.Error()
+}
+
+// splitBinary finds the leftmost space-delimited top-level (outside
+// parentheses) occurrence of " + ", " - " or " * ".
+func splitBinary(s string) (left string, op byte, right string, found bool) {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ' ':
+			if depth == 0 && i+2 < len(s) && s[i+2] == ' ' &&
+				(s[i+1] == '+' || s[i+1] == '-' || s[i+1] == '*') {
+				return strings.TrimSpace(s[:i]), s[i+1],
+					strings.TrimSpace(s[i+3:]), true
+			}
+		}
+	}
+	return "", 0, "", false
+}
+
+// parseRef parses NAME, NAME(triplet) or NAME(triplet, triplet).
+// Subscripts tolerate interior whitespace: "A( 0 : 9 )" parses.
+func (p *lineParser) parseRef(s string) (*Ref, error) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexByte(s, '(')
+	if i < 0 {
+		if !validIdent(s) {
+			return nil, p.errf("malformed reference %q", s)
+		}
+		return &Ref{RefPos: p.pos, Name: s, Whole: true}, nil
+	}
+	name := strings.TrimSpace(s[:i])
+	if !validIdent(name) {
+		return nil, p.errf("malformed reference %q", s)
+	}
+	if !strings.HasSuffix(s, ")") {
+		return nil, p.errf("malformed reference %q", s)
+	}
+	inner := s[i+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return nil, p.errf("empty subscript list in %q", s)
+	}
+	subs := strings.Split(inner, ",")
+	if len(subs) > 2 {
+		return nil, p.errf("reference %q needs 1 or 2 subscripts, got %d", s, len(subs))
+	}
+	ref := &Ref{RefPos: p.pos, Name: name}
+	for _, t := range subs {
+		tri, err := p.parseTriplet(strings.TrimSpace(t))
+		if err != nil {
+			return nil, err
+		}
+		ref.Subs = append(ref.Subs, tri)
+	}
+	return ref, nil
+}
+
+// parseTriplet parses lo:hi[:stride]. Zero strides parse; they are
+// rejected semantically (section.New) so the interpreter and analyzer
+// can both point at them.
+func (p *lineParser) parseTriplet(tri string) (Triplet, error) {
+	parts := strings.Split(tri, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Triplet{}, p.errf("malformed triplet %q", tri)
+	}
+	nums := make([]int64, len(parts))
+	for i, s := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Triplet{}, p.errf("malformed triplet %q: %v", tri, err)
+		}
+		nums[i] = v
+	}
+	t := Triplet{Lo: nums[0], Hi: nums[1], Stride: 1}
+	if len(nums) == 3 {
+		t.Stride = nums[2]
+	}
+	return t, nil
+}
+
+// splitCall parses NAME(arg1,arg2,...) into its pieces.
+func (p *lineParser) splitCall(s string) (name string, args []string, err error) {
+	i := strings.IndexByte(s, '(')
+	if i <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, p.errf("malformed %q (want NAME(...))", s)
+	}
+	name = s[:i]
+	if !validIdent(name) {
+		return "", nil, p.errf("malformed %q (want NAME(...))", s)
+	}
+	inner := s[i+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return "", nil, p.errf("empty argument list in %q", s)
+	}
+	for _, a := range strings.Split(inner, ",") {
+		args = append(args, strings.TrimSpace(a))
+	}
+	return name, args, nil
+}
+
+// validIdent reports whether s is a plausible name: a letter or
+// underscore followed by letters, digits or underscores.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}

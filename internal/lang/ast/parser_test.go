@@ -1,0 +1,219 @@
+package ast
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, line string) Stmt {
+	t.Helper()
+	st, err := ParseLine(line, 1)
+	if err != nil {
+		t.Fatalf("ParseLine(%q): %v", line, err)
+	}
+	if st == nil {
+		t.Fatalf("ParseLine(%q): no statement", line)
+	}
+	return st
+}
+
+func TestParseProcessors(t *testing.T) {
+	p := parseOne(t, "processors P(4)").(*Processors)
+	if p.Name != "P" || len(p.Counts) != 1 || p.Counts[0] != 4 {
+		t.Errorf("flat processors parsed wrong: %+v", p)
+	}
+	q := parseOne(t, "processors Q(2,3)").(*Processors)
+	if q.Name != "Q" || len(q.Counts) != 2 || q.Counts[0] != 2 || q.Counts[1] != 3 {
+		t.Errorf("grid processors parsed wrong: %+v", q)
+	}
+}
+
+func TestParseArrayDecl(t *testing.T) {
+	a := parseOne(t, "array A(320) distribute cyclic(8) onto P").(*ArrayDecl)
+	if a.Name != "A" || a.Extents[0] != 320 || a.Target != "P" {
+		t.Errorf("1-D decl parsed wrong: %+v", a)
+	}
+	if a.Dists[0].Kind != DistCyclicK || a.Dists[0].K != 8 {
+		t.Errorf("dist spec parsed wrong: %+v", a.Dists[0])
+	}
+	m := parseOne(t, "array M(16,24) distribute (cyclic(2),block) onto Q").(*ArrayDecl)
+	if len(m.Extents) != 2 || m.Extents[1] != 24 {
+		t.Errorf("2-D extents parsed wrong: %+v", m)
+	}
+	if m.Dists[0].Kind != DistCyclicK || m.Dists[1].Kind != DistBlock {
+		t.Errorf("2-D dists parsed wrong: %+v", m.Dists)
+	}
+}
+
+func TestParseAssignForms(t *testing.T) {
+	fill := parseOne(t, "A(4:319:9) = 100.0").(*Assign)
+	if s, ok := fill.RHS.(*Scalar); !ok || s.Val != 100 {
+		t.Errorf("scalar fill parsed wrong: %+v", fill.RHS)
+	}
+	if tri := fill.LHS.Subs[0]; tri.Lo != 4 || tri.Hi != 319 || tri.Stride != 9 {
+		t.Errorf("lhs triplet wrong: %+v", tri)
+	}
+	copyStmt := parseOne(t, "B(0:70:2) = A(4:319:9)").(*Assign)
+	if r, ok := copyStmt.RHS.(*Ref); !ok || r.Name != "A" {
+		t.Errorf("copy rhs parsed wrong: %+v", copyStmt.RHS)
+	}
+	bin := parseOne(t, "B(0:9) = A(0:9) + A(10:19)").(*Assign)
+	b, ok := bin.RHS.(*Binary)
+	if !ok || b.Op != '+' || b.Left.Name != "A" {
+		t.Errorf("binary rhs parsed wrong: %+v", bin.RHS)
+	}
+	if r, ok := b.Right.(*Ref); !ok || r.Subs[0].Lo != 10 {
+		t.Errorf("binary right operand wrong: %+v", b.Right)
+	}
+	scalarOp := parseOne(t, "B(0:9) = A(0:9) * 2.5").(*Assign)
+	sb := scalarOp.RHS.(*Binary)
+	if s, ok := sb.Right.(*Scalar); !ok || s.Val != 2.5 || sb.Op != '*' {
+		t.Errorf("array-op-scalar parsed wrong: %+v", scalarOp.RHS)
+	}
+	tr := parseOne(t, "N(0:23, 0:15) = transpose M(0:15, 0:23)").(*Assign)
+	tt, ok := tr.RHS.(*Transpose)
+	if !ok || tt.Src.Name != "M" || len(tt.Src.Subs) != 2 {
+		t.Errorf("transpose parsed wrong: %+v", tr.RHS)
+	}
+	if len(tr.LHS.Subs) != 2 || tr.LHS.Subs[1].Hi != 15 {
+		t.Errorf("2-D lhs parsed wrong: %+v", tr.LHS)
+	}
+}
+
+func TestParseWholeArrayAndDefaults(t *testing.T) {
+	a := parseOne(t, "A = 5.0").(*Assign)
+	if !a.LHS.Whole || a.LHS.Name != "A" {
+		t.Errorf("whole-array ref wrong: %+v", a.LHS)
+	}
+	p := parseOne(t, "print A(0:3)").(*Print)
+	if p.Ref.Subs[0].Stride != 1 {
+		t.Errorf("default stride wrong: %+v", p.Ref.Subs[0])
+	}
+}
+
+func TestParseSpacesInRefs(t *testing.T) {
+	// print/sum concatenate their fields; triplets tolerate spaces.
+	p := parseOne(t, "print M(0:3, 0:3)").(*Print)
+	if len(p.Ref.Subs) != 2 {
+		t.Errorf("spaced 2-D print ref wrong: %+v", p.Ref)
+	}
+	a := parseOne(t, "A( 0 : 9 ) = 1.0").(*Assign)
+	if a.LHS.Subs[0].Hi != 9 {
+		t.Errorf("spaced triplet wrong: %+v", a.LHS.Subs[0])
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	for _, line := range []string{"", "   ", "! comment", "  ! indented comment"} {
+		st, err := ParseLine(line, 1)
+		if err != nil || st != nil {
+			t.Errorf("ParseLine(%q) = %v, %v; want nil, nil", line, st, err)
+		}
+	}
+	st := parseOne(t, "stats ! trailing comment")
+	if _, ok := st.(*Stats); !ok {
+		t.Errorf("trailing comment not stripped: %T", st)
+	}
+}
+
+func TestParsePositions(t *testing.T) {
+	sc, err := Parse("processors P(2)\n\n  sum A\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Stmts) != 2 {
+		t.Fatalf("want 2 statements, got %d", len(sc.Stmts))
+	}
+	if pos := sc.Stmts[1].Pos(); pos.Line != 3 || pos.Col != 3 {
+		t.Errorf("indented statement position wrong: %v", pos)
+	}
+	if sc.Stmts[1].Text() != "sum A" {
+		t.Errorf("statement text wrong: %q", sc.Stmts[1].Text())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ line, want string }{
+		{"bogus stuff", "unknown statement"},
+		{"processors P(0)", "invalid processor count"},
+		{"processors P(2,3,4)", "one or two counts"},
+		{"array A(10) distribute weird onto P", "unknown distribution"},
+		{"array A(0) distribute block onto P", "invalid array size"},
+		{"array M(8,-1) distribute (block,block) onto Q", "invalid extent"},
+		{"array M(8,8) distribute cyclic(2) onto Q", "2-D distribution"},
+		{"array M(8,8) distribute (block) onto Q", "needs 2 specs"},
+		{"print A(0:1:2:3)", "malformed triplet"},
+		{"print", "usage: print"},
+		{"sum", "usage: sum"},
+		{"table A(0:5) on x", "invalid processor"},
+		{"table A(0:5) over 1", "usage: table"},
+		{"stats now", "usage: stats"},
+		{"A(0:4) =", "empty right-hand side"},
+		{"= 3.0", "empty left-hand side"},
+		{"A() = 1.0", "empty subscript list"},
+		{"A(5) = 1.0", "malformed triplet"},
+		{"A(0:4 = 1.0", "malformed reference"},
+		{"2x(0:4) = 1.0", "malformed reference"},
+		{"A(0:1,0:1,0:1) = 1.0", "1 or 2 subscripts"},
+		{"A(0:4) = B(0:4 + A(0:4)", "malformed triplet"},
+		{"A(::", "unknown statement"},
+		{"redistribute A", "usage: redistribute"},
+		{"redistribute 1x cyclic(2)", "malformed array name"},
+		{"processors P", "want NAME"},
+		{"processors P()", "empty argument list"},
+	}
+	for _, c := range cases {
+		st, err := ParseLine(c.line, 7)
+		if err == nil {
+			t.Errorf("ParseLine(%q) = %v; want error", c.line, st)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseLine(%q) error %q does not contain %q", c.line, err, c.want)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParseLine(%q) error is %T, not *ParseError", c.line, err)
+		} else if pe.Pos.Line != 7 {
+			t.Errorf("ParseLine(%q) error line = %d, want 7", c.line, pe.Pos.Line)
+		}
+	}
+}
+
+func TestParseAllCollectsErrors(t *testing.T) {
+	sc, errs := ParseAll("processors P(2)\nbogus\narray A(10) distribute cyclic(2) onto P\nworse(\n")
+	if len(sc.Stmts) != 2 {
+		t.Errorf("want 2 parsed statements, got %d", len(sc.Stmts))
+	}
+	if len(errs) != 2 {
+		t.Fatalf("want 2 parse errors, got %v", errs)
+	}
+	if errs[0].Pos.Line != 2 || errs[1].Pos.Line != 4 {
+		t.Errorf("error lines wrong: %v", errs)
+	}
+}
+
+func TestRefsHelper(t *testing.T) {
+	st := parseOne(t, "B(0:9) = A(0:9) + C(10:19)")
+	refs := Refs(st)
+	if len(refs) != 3 {
+		t.Fatalf("want 3 refs, got %d", len(refs))
+	}
+	names := []string{refs[0].Name, refs[1].Name, refs[2].Name}
+	if strings.Join(names, "") != "BAC" {
+		t.Errorf("refs order wrong: %v", names)
+	}
+	if got := Refs(parseOne(t, "stats")); got != nil {
+		t.Errorf("stats should have no refs: %v", got)
+	}
+}
+
+func TestZeroStrideParses(t *testing.T) {
+	// Zero strides are syntactically valid; rejecting them is semantic
+	// (section.New for the interpreter, HPF011 for the analyzer).
+	a := parseOne(t, "A(0:5:0) = 1.0").(*Assign)
+	if a.LHS.Subs[0].Stride != 0 {
+		t.Errorf("zero stride not preserved: %+v", a.LHS.Subs[0])
+	}
+}

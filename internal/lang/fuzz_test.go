@@ -27,6 +27,31 @@ func FuzzExec(f *testing.F) {
 		"array A(999999999999999999999) distribute cyclic(8) onto P",
 		"sum A(0:-5:1)",
 		"table A(0:1000000:1) on -3",
+		// 2-D statements
+		"array N(8,8) distribute (block,block) onto Q",
+		"N(0:7, 0:7) = 3.5",
+		"N(0:7, 0:7) = M(0:7, 0:7)",
+		"print M(0:3, 0:3)",
+		"sum M(0:7, 0:7)",
+		"M(0:7) = 1.0",
+		"A(0:3, 0:3) = 1.0",
+		// redistribute forms, valid and malformed
+		"redistribute B block",
+		"redistribute M (cyclic(3),block)",
+		"redistribute",
+		"redistribute Z cyclic(2)",
+		"redistribute A nonsense",
+		// malformed triplets and refs
+		"A(0:1:2:3) = 1.0",
+		"A( : ) = 1.0",
+		"A(0:5:0) = 1.0",
+		"A(9:0:-2) = 1.0",
+		"A(0: 31 :2) = 1.0",
+		"A() = 1.0",
+		"A(5) = 1.0",
+		"A(0:4 = 1.0",
+		"A(0:4) =",
+		"A(0:4) = B(0:4 +",
 	}
 	for _, s := range seeds {
 		f.Add(s)

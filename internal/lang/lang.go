@@ -6,7 +6,10 @@
 // array-to-array section assignments run through planned communication
 // sets on the simulated machine, and redistribution re-deals the blocks.
 //
-// Grammar (one statement per line; "!" starts a comment):
+// Scripts are parsed into the typed syntax tree of internal/lang/ast and
+// then executed, so the interpreter shares one grammar with the static
+// analyzer in internal/analysis (and with cmd/hpflint). See the ast
+// package for the grammar:
 //
 //	processors P(4)
 //	array A(320) distribute cyclic(8) onto P
@@ -41,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/hpf"
+	"repro/internal/lang/ast"
 	"repro/internal/machine"
 	"repro/internal/redist"
 	"repro/internal/section"
@@ -82,117 +86,100 @@ func (in *Interp) Array(name string) (*hpf.Array, bool) {
 	return a, ok
 }
 
-// Run executes a whole script, stopping at the first error, which is
-// annotated with its 1-based line number.
+// Run parses a whole script and then executes it statement by
+// statement, stopping at the first error. Both parse and runtime errors
+// are annotated "line N: <stmt>: <err>".
 func (in *Interp) Run(src string) error {
-	for ln, line := range strings.Split(src, "\n") {
-		if err := in.Exec(line); err != nil {
-			return fmt.Errorf("line %d: %w", ln+1, err)
+	script, err := ast.Parse(src)
+	if err != nil {
+		return err
+	}
+	return in.RunScript(script)
+}
+
+// RunScript executes an already-parsed script.
+func (in *Interp) RunScript(script *ast.Script) error {
+	for _, st := range script.Stmts {
+		if err := in.ExecStmt(st); err != nil {
+			return fmt.Errorf("line %d: %s: %w", st.Pos().Line, st.Text(), err)
 		}
 	}
 	return nil
 }
 
-// Exec executes a single statement. Blank lines and comments are no-ops.
+// Exec parses and executes a single statement. Blank lines and comments
+// are no-ops.
 func (in *Interp) Exec(line string) error {
-	if i := strings.Index(line, "!"); i >= 0 {
-		line = line[:i]
+	st, err := ast.ParseLine(line, 1)
+	if err != nil {
+		return err
 	}
-	line = strings.TrimSpace(line)
-	if line == "" {
+	if st == nil {
 		return nil
 	}
-	fields := strings.Fields(line)
-	switch fields[0] {
-	case "processors":
-		return in.execProcessors(fields)
-	case "array":
-		return in.execArray(fields)
-	case "redistribute":
-		return in.execRedistribute(fields)
-	case "print":
-		return in.execPrint(fields)
-	case "sum":
-		return in.execSum(fields)
-	case "table":
-		return in.execTable(fields)
-	case "stats":
-		return in.execStats(fields)
+	return in.ExecStmt(st)
+}
+
+// ExecStmt executes one parsed statement.
+func (in *Interp) ExecStmt(st ast.Stmt) error {
+	switch s := st.(type) {
+	case *ast.Processors:
+		return in.execProcessors(s)
+	case *ast.ArrayDecl:
+		return in.execArrayDecl(s)
+	case *ast.Redistribute:
+		return in.execRedistribute(s)
+	case *ast.Assign:
+		return in.execAssign(s)
+	case *ast.Print:
+		return in.execPrint(s)
+	case *ast.Sum:
+		return in.execSum(s)
+	case *ast.Table:
+		return in.execTable(s)
+	case *ast.Stats:
+		return in.execStats()
 	default:
-		if strings.Contains(line, "=") {
-			return in.execAssign(line)
-		}
-		return fmt.Errorf("unknown statement %q", fields[0])
+		return fmt.Errorf("unsupported statement %T", st)
 	}
 }
 
 // execProcessors handles flat arrangements (processors P(4)) and grids
 // (processors Q(2,2)).
-func (in *Interp) execProcessors(fields []string) error {
-	if len(fields) != 2 {
-		return fmt.Errorf("usage: processors NAME(count[,count])")
-	}
-	name, args, err := splitCall(fields[1])
-	if err != nil {
-		return err
-	}
-	if len(args) == 2 {
-		return in.execProcessors2(name, args)
+func (in *Interp) execProcessors(s *ast.Processors) error {
+	if len(s.Counts) == 2 {
+		return in.execProcessors2(s)
 	}
 	if in.procName != "" {
 		return fmt.Errorf("flat processors already declared")
 	}
-	if _, dup := in.gridDims[name]; dup {
-		return fmt.Errorf("processors %s already declared", name)
+	if _, dup := in.gridDims[s.Name]; dup {
+		return fmt.Errorf("processors %s already declared", s.Name)
 	}
-	if len(args) != 1 {
-		return fmt.Errorf("processors takes one or two counts, got %d", len(args))
-	}
-	p, err := strconv.ParseInt(args[0], 10, 64)
-	if err != nil || p < 1 {
-		return fmt.Errorf("invalid processor count %q", args[0])
-	}
-	in.procs = p
-	in.procName = name
-	in.ensureMachine(p)
+	in.procs = s.Counts[0]
+	in.procName = s.Name
+	in.ensureMachine(in.procs)
 	return nil
 }
 
-// execArray handles 1-D declarations
+// execArrayDecl handles 1-D declarations
 // (array A(320) distribute cyclic(8) onto P) and dispatches 2-D ones
 // (array M(16,24) distribute (cyclic(2),cyclic(3)) onto Q).
-func (in *Interp) execArray(fields []string) error {
+func (in *Interp) execArrayDecl(s *ast.ArrayDecl) error {
 	if in.machine == nil {
 		return fmt.Errorf("declare processors first")
 	}
-	if len(fields) != 6 || fields[2] != "distribute" || fields[4] != "onto" {
-		return fmt.Errorf("usage: array NAME(size[,size]) distribute SPEC onto %s",
-			orProcs(in.procName))
+	if len(s.Extents) == 2 {
+		return in.execArray2(s)
 	}
-	name, args, err := splitCall(fields[1])
-	if err != nil {
+	if s.Target != in.procName {
+		return fmt.Errorf("unknown processor arrangement %q", s.Target)
+	}
+	if err := in.checkFreshName(s.Name); err != nil {
 		return err
 	}
-	if len(args) == 2 {
-		return in.execArray2(name, args, fields[3], fields[5])
-	}
-	if fields[5] != in.procName {
-		return fmt.Errorf("unknown processor arrangement %q", fields[5])
-	}
-	if _, dup := in.arrays[name]; dup {
-		return fmt.Errorf("array %s already declared", name)
-	}
-	if _, dup := in.arrays2[name]; dup {
-		return fmt.Errorf("array %s already declared", name)
-	}
-	if len(args) != 1 {
-		return fmt.Errorf("array %s needs exactly one extent", name)
-	}
-	n, err := strconv.ParseInt(args[0], 10, 64)
-	if err != nil || n < 1 {
-		return fmt.Errorf("invalid array size %q", args[0])
-	}
-	layout, err := in.parseDist(fields[3], n)
+	n := s.Extents[0]
+	layout, err := layoutFor(s.Dists[0], in.procs, n)
 	if err != nil {
 		return err
 	}
@@ -200,45 +187,41 @@ func (in *Interp) execArray(fields []string) error {
 	if err != nil {
 		return err
 	}
-	in.arrays[name] = a
+	in.arrays[s.Name] = a
 	return nil
 }
 
-func orProcs(name string) string {
-	if name == "" {
-		return "PROCS"
+// checkFreshName rejects names already bound to a 1-D or 2-D array.
+func (in *Interp) checkFreshName(name string) error {
+	if _, dup := in.arrays[name]; dup {
+		return fmt.Errorf("array %s already declared", name)
 	}
-	return name
+	if _, dup := in.arrays2[name]; dup {
+		return fmt.Errorf("array %s already declared", name)
+	}
+	return nil
 }
 
-// parseDist parses cyclic(8), cyclic, or block.
-func (in *Interp) parseDist(spec string, n int64) (dist.Layout, error) {
-	switch {
-	case spec == "block":
-		return dist.Block(in.procs, n)
-	case spec == "cyclic":
-		return dist.Cyclic(in.procs)
-	case strings.HasPrefix(spec, "cyclic(") && strings.HasSuffix(spec, ")"):
-		k, err := strconv.ParseInt(spec[len("cyclic("):len(spec)-1], 10, 64)
-		if err != nil || k < 1 {
-			return dist.Layout{}, fmt.Errorf("invalid block size in %q", spec)
-		}
-		return dist.New(in.procs, k)
+// layoutFor lowers a distribution spec onto p processors for an n-cell
+// array: block is cyclic(ceil(n/p)), cyclic is cyclic(1).
+func layoutFor(spec ast.DistSpec, p, n int64) (dist.Layout, error) {
+	switch spec.Kind {
+	case ast.DistBlock:
+		return dist.Block(p, n)
+	case ast.DistCyclic:
+		return dist.Cyclic(p)
 	default:
-		return dist.Layout{}, fmt.Errorf("unknown distribution %q", spec)
+		return dist.New(p, spec.K)
 	}
 }
 
 // execRedistribute handles: redistribute A cyclic(16)
-func (in *Interp) execRedistribute(fields []string) error {
-	if len(fields) != 3 {
-		return fmt.Errorf("usage: redistribute NAME cyclic(k)|cyclic|block")
-	}
-	a, ok := in.arrays[fields[1]]
+func (in *Interp) execRedistribute(s *ast.Redistribute) error {
+	a, ok := in.arrays[s.Name]
 	if !ok {
-		return fmt.Errorf("unknown array %q", fields[1])
+		return fmt.Errorf("unknown array %q", s.Name)
 	}
-	layout, err := in.parseDist(fields[2], a.N())
+	layout, err := layoutFor(s.Dist, in.procs, a.N())
 	if err != nil {
 		return err
 	}
@@ -246,8 +229,30 @@ func (in *Interp) execRedistribute(fields []string) error {
 	if err != nil {
 		return err
 	}
-	in.arrays[fields[1]] = b
+	in.arrays[s.Name] = b
 	return nil
+}
+
+// array1 resolves a reference against the declared 1-D arrays and turns
+// its subscript into a section (the whole array for a bare name).
+func (in *Interp) array1(ref *ast.Ref) (*hpf.Array, section.Section, error) {
+	a, ok := in.arrays[ref.Name]
+	if !ok {
+		return nil, section.Section{}, fmt.Errorf("unknown array %q", ref.Name)
+	}
+	if ref.Whole {
+		return a, section.Section{Lo: 0, Hi: a.N() - 1, Stride: 1}, nil
+	}
+	if len(ref.Subs) != 1 {
+		return nil, section.Section{},
+			fmt.Errorf("1-D array %q takes one subscript, got %d", ref.Name, len(ref.Subs))
+	}
+	t := ref.Subs[0]
+	sec, err := section.New(t.Lo, t.Hi, t.Stride)
+	if err != nil {
+		return nil, section.Section{}, err
+	}
+	return a, sec, nil
 }
 
 // execAssign handles scalar fills, section copies and elementwise binary
@@ -257,95 +262,78 @@ func (in *Interp) execRedistribute(fields []string) error {
 //	A(sec) = B(sec)                 section copy
 //	A(sec) = B(sec) + C(sec)        elementwise array op (+ - *)
 //	A(sec) = B(sec) * 2.0           array op scalar
-func (in *Interp) execAssign(line string) error {
+func (in *Interp) execAssign(s *ast.Assign) error {
 	if in.machine == nil {
 		return fmt.Errorf("declare processors first")
 	}
-	parts := strings.SplitN(line, "=", 2)
-	lhs := strings.TrimSpace(parts[0])
-	rhs := strings.TrimSpace(parts[1])
-	if in.is2DRef(lhs) {
-		return in.execAssign2(lhs, rhs)
+	if _, ok := in.arrays2[s.LHS.Name]; ok {
+		return in.execAssign2(s)
 	}
-	dstName, dstSec, err := in.parseRef(lhs)
+	dst, dstSec, err := in.array1(s.LHS)
 	if err != nil {
 		return err
 	}
-	dst := in.arrays[dstName]
-
-	// Scalar fill?
-	if v, err := strconv.ParseFloat(rhs, 64); err == nil {
-		return dst.FillSection(dstSec, v)
-	}
-
-	// Binary expression? Scan for a top-level operator (operands contain
-	// no spaces, so " op " is unambiguous).
-	for _, op := range []string{" + ", " - ", " * "} {
-		if i := strings.Index(rhs, op); i >= 0 {
-			return in.execBinary(dst, dstSec, strings.TrimSpace(rhs[:i]),
-				strings.TrimSpace(op), strings.TrimSpace(rhs[i+len(op):]))
+	switch rhs := s.RHS.(type) {
+	case *ast.Scalar:
+		return dst.FillSection(dstSec, rhs.Val)
+	case *ast.Transpose:
+		return fmt.Errorf("transpose requires a 2-D destination, %q is 1-D", s.LHS.Name)
+	case *ast.Binary:
+		return in.execBinary(dst, dstSec, rhs)
+	case *ast.Ref:
+		src, srcSec, err := in.array1(rhs)
+		if err != nil {
+			return fmt.Errorf("right-hand side %q: %w", rhs, err)
 		}
+		return comm.Copy(in.machine, dst, dstSec, src, srcSec)
+	default:
+		return fmt.Errorf("unsupported expression %T", s.RHS)
 	}
-
-	// Plain section copy.
-	srcName, srcSec, err := in.parseRef(rhs)
-	if err != nil {
-		return fmt.Errorf("right-hand side %q: %w", rhs, err)
-	}
-	src := in.arrays[srcName]
-	return comm.Copy(in.machine, dst, dstSec, src, srcSec)
 }
 
 // execBinary evaluates dst(dstSec) = left OP right, where left is an
 // array reference and right is an array reference or a scalar.
-func (in *Interp) execBinary(dst *hpf.Array, dstSec section.Section,
-	left, op, right string) error {
-	fn, ok := map[string]comm.BinOp{
-		"+": comm.Add,
-		"-": func(a, b float64) float64 { return a - b },
-		"*": func(a, b float64) float64 { return a * b },
-	}[op]
+func (in *Interp) execBinary(dst *hpf.Array, dstSec section.Section, e *ast.Binary) error {
+	fn, ok := map[byte]comm.BinOp{
+		'+': comm.Add,
+		'-': func(a, b float64) float64 { return a - b },
+		'*': func(a, b float64) float64 { return a * b },
+	}[e.Op]
 	if !ok {
-		return fmt.Errorf("unknown operator %q", op)
+		return fmt.Errorf("unknown operator %q", string(e.Op))
 	}
-	aName, aSec, err := in.parseRef(left)
+	a, aSec, err := in.array1(e.Left)
 	if err != nil {
-		return fmt.Errorf("left operand %q: %w", left, err)
+		return fmt.Errorf("left operand %q: %w", e.Left, err)
 	}
-	a := in.arrays[aName]
 
 	// Array op scalar: copy then map.
-	if v, err := strconv.ParseFloat(right, 64); err == nil {
+	if v, ok := e.Right.(*ast.Scalar); ok {
 		if err := comm.Copy(in.machine, dst, dstSec, a, aSec); err != nil {
 			return err
 		}
-		return dst.MapSection(dstSec, func(x float64) float64 { return fn(x, v) })
+		return dst.MapSection(dstSec, func(x float64) float64 { return fn(x, v.Val) })
 	}
 
 	// Array op array.
-	bName, bSec, err := in.parseRef(right)
+	right := e.Right.(*ast.Ref)
+	b, bSec, err := in.array1(right)
 	if err != nil {
 		return fmt.Errorf("right operand %q: %w", right, err)
 	}
-	b := in.arrays[bName]
 	return comm.Combine(in.machine, dst, dstSec, a, aSec, b, bSec, fn)
 }
 
 // execPrint handles: print A(0:40:4)
-func (in *Interp) execPrint(fields []string) error {
-	ref := strings.Join(fields[1:], " ")
-	if len(fields) < 2 {
-		return fmt.Errorf("usage: print NAME(lo:hi:stride)")
+func (in *Interp) execPrint(s *ast.Print) error {
+	if _, ok := in.arrays2[s.Ref.Name]; ok {
+		return in.execPrint2(s.Ref)
 	}
-	ref = strings.ReplaceAll(ref, " ", "")
-	if in.is2DRef(ref) {
-		return in.execPrint2(ref)
-	}
-	name, sec, err := in.parseRef(ref)
+	a, sec, err := in.array1(s.Ref)
 	if err != nil {
 		return err
 	}
-	vals, err := in.arrays[name].GatherSection(sec)
+	vals, err := a.GatherSection(sec)
 	if err != nil {
 		return err
 	}
@@ -353,49 +341,38 @@ func (in *Interp) execPrint(fields []string) error {
 	for i, v := range vals {
 		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
 	}
-	fmt.Fprintf(in.out, "%s(%v) = [%s]\n", name, sec, strings.Join(parts, " "))
+	fmt.Fprintf(in.out, "%s(%v) = [%s]\n", s.Ref.Name, sec, strings.Join(parts, " "))
 	return nil
 }
 
 // execSum handles: sum A(4:319:9)
-func (in *Interp) execSum(fields []string) error {
-	if len(fields) < 2 {
-		return fmt.Errorf("usage: sum NAME(lo:hi:stride)")
+func (in *Interp) execSum(s *ast.Sum) error {
+	if _, ok := in.arrays2[s.Ref.Name]; ok {
+		return in.execSum2(s.Ref)
 	}
-	ref := strings.ReplaceAll(strings.Join(fields[1:], " "), " ", "")
-	if in.is2DRef(ref) {
-		return in.execSum2(ref)
-	}
-	name, sec, err := in.parseRef(ref)
+	a, sec, err := in.array1(s.Ref)
 	if err != nil {
 		return err
 	}
-	total, err := in.arrays[name].SumSection(sec)
+	total, err := a.SumSection(sec)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(in.out, "sum %s(%v) = %s\n", name, sec,
+	fmt.Fprintf(in.out, "sum %s(%v) = %s\n", s.Ref.Name, sec,
 		strconv.FormatFloat(total, 'g', -1, 64))
 	return nil
 }
 
 // execTable handles: table A(4:319:9) on 1
-func (in *Interp) execTable(fields []string) error {
-	if len(fields) != 4 || fields[2] != "on" {
-		return fmt.Errorf("usage: table NAME(lo:hi:stride) on PROC")
-	}
-	name, sec, err := in.parseRef(fields[1])
+func (in *Interp) execTable(s *ast.Table) error {
+	a, sec, err := in.array1(s.Ref)
 	if err != nil {
 		return err
 	}
-	m, err := strconv.ParseInt(fields[3], 10, 64)
-	if err != nil {
-		return fmt.Errorf("invalid processor %q", fields[3])
-	}
-	a := in.arrays[name]
+	m := s.Proc
 	asc, _ := sec.Ascending()
 	if asc.Empty() {
-		fmt.Fprintf(in.out, "table %s(%v) on %d: empty section\n", name, sec, m)
+		fmt.Fprintf(in.out, "table %s(%v) on %d: empty section\n", s.Ref.Name, sec, m)
 		return nil
 	}
 	pr := core.Problem{
@@ -406,16 +383,13 @@ func (in *Interp) execTable(fields []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(in.out, "table %s(%v) on %d: %s\n", name, sec, m, viz.AMTable(seq))
+	fmt.Fprintf(in.out, "table %s(%v) on %d: %s\n", s.Ref.Name, sec, m, viz.AMTable(seq))
 	return nil
 }
 
 // execStats handles: stats — print and reset the machine's communication
 // counters.
-func (in *Interp) execStats(fields []string) error {
-	if len(fields) != 1 {
-		return fmt.Errorf("usage: stats")
-	}
+func (in *Interp) execStats() error {
 	if in.machine == nil {
 		return fmt.Errorf("declare processors first")
 	}
@@ -424,57 +398,4 @@ func (in *Interp) execStats(fields []string) error {
 		total.MessagesSent, total.ValuesSent)
 	in.machine.ResetStats()
 	return nil
-}
-
-// parseRef parses NAME or NAME(lo:hi[:stride]) against a declared array.
-func (in *Interp) parseRef(ref string) (string, section.Section, error) {
-	name := ref
-	triplet := ""
-	if i := strings.IndexByte(ref, '('); i >= 0 {
-		if !strings.HasSuffix(ref, ")") {
-			return "", section.Section{}, fmt.Errorf("malformed reference %q", ref)
-		}
-		name, triplet = ref[:i], ref[i+1:len(ref)-1]
-	}
-	a, ok := in.arrays[name]
-	if !ok {
-		return "", section.Section{}, fmt.Errorf("unknown array %q", name)
-	}
-	if triplet == "" {
-		return name, section.Section{Lo: 0, Hi: a.N() - 1, Stride: 1}, nil
-	}
-	parts := strings.Split(triplet, ":")
-	if len(parts) < 2 || len(parts) > 3 {
-		return "", section.Section{}, fmt.Errorf("malformed triplet %q", triplet)
-	}
-	nums := make([]int64, len(parts))
-	for i, p := range parts {
-		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
-		if err != nil {
-			return "", section.Section{}, fmt.Errorf("malformed triplet %q: %v", triplet, err)
-		}
-		nums[i] = v
-	}
-	stride := int64(1)
-	if len(nums) == 3 {
-		stride = nums[2]
-	}
-	sec, err := section.New(nums[0], nums[1], stride)
-	if err != nil {
-		return "", section.Section{}, err
-	}
-	return name, sec, nil
-}
-
-// splitCall parses NAME(arg1,arg2,...) into its pieces.
-func splitCall(s string) (name string, args []string, err error) {
-	i := strings.IndexByte(s, '(')
-	if i <= 0 || !strings.HasSuffix(s, ")") {
-		return "", nil, fmt.Errorf("malformed %q (want NAME(...))", s)
-	}
-	name = s[:i]
-	for _, a := range strings.Split(s[i+1:len(s)-1], ",") {
-		args = append(args, strings.TrimSpace(a))
-	}
-	return name, args, nil
 }

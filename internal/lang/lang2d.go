@@ -8,6 +8,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/hpf"
+	"repro/internal/intmath"
+	"repro/internal/lang/ast"
 	"repro/internal/section"
 )
 
@@ -25,26 +27,17 @@ import (
 // interpreter dispatches on the declared name.
 
 // execProcessors2 handles: processors Q(2,2)
-func (in *Interp) execProcessors2(name string, args []string) error {
-	if _, dup := in.gridDims[name]; dup || name == in.procName {
-		return fmt.Errorf("processors %s already declared", name)
+func (in *Interp) execProcessors2(s *ast.Processors) error {
+	if _, dup := in.gridDims[s.Name]; dup || s.Name == in.procName {
+		return fmt.Errorf("processors %s already declared", s.Name)
 	}
-	dims := make([]int64, len(args))
-	total := int64(1)
-	for i, a := range args {
-		v, err := strconv.ParseInt(a, 10, 64)
-		if err != nil || v < 1 {
-			return fmt.Errorf("invalid processor count %q", a)
-		}
-		dims[i] = v
-		total *= v
-	}
-	if len(dims) != 2 {
-		return fmt.Errorf("grids must be rank 2, got %d dims", len(dims))
+	total, err := intmath.MulChecked(s.Counts[0], s.Counts[1])
+	if err != nil {
+		return fmt.Errorf("processor grid %s too large: %v", s.Name, err)
 	}
 	// Grid layouts get their block sizes at array-declaration time; store
 	// the dims for now.
-	in.gridDims[name] = dims
+	in.gridDims[s.Name] = append([]int64(nil), s.Counts...)
 	in.ensureMachine(total)
 	return nil
 }
@@ -59,41 +52,17 @@ func (in *Interp) ensureMachine(n int64) {
 
 // execArray2 handles:
 // array M(16,24) distribute (cyclic(2),cyclic(3)) onto Q
-func (in *Interp) execArray2(name string, extents []string, spec, gridName string) error {
-	dims, ok := in.gridDims[gridName]
+func (in *Interp) execArray2(s *ast.ArrayDecl) error {
+	dims, ok := in.gridDims[s.Target]
 	if !ok {
-		return fmt.Errorf("unknown processor grid %q", gridName)
+		return fmt.Errorf("unknown processor grid %q", s.Target)
 	}
-	if _, dup := in.arrays2[name]; dup {
-		return fmt.Errorf("array %s already declared", name)
-	}
-	if _, dup := in.arrays[name]; dup {
-		return fmt.Errorf("array %s already declared", name)
-	}
-	if len(extents) != 2 {
-		return fmt.Errorf("2-D array %s needs 2 extents, got %d", name, len(extents))
-	}
-	n := make([]int64, 2)
-	for i, e := range extents {
-		v, err := strconv.ParseInt(e, 10, 64)
-		if err != nil || v < 1 {
-			return fmt.Errorf("invalid extent %q", e)
-		}
-		n[i] = v
-	}
-	if !strings.HasPrefix(spec, "(") || !strings.HasSuffix(spec, ")") {
-		return fmt.Errorf("2-D distribution must be (spec,spec), got %q", spec)
-	}
-	parts := strings.Split(spec[1:len(spec)-1], ",")
-	if len(parts) != 2 {
-		return fmt.Errorf("2-D distribution needs 2 specs, got %d", len(parts))
+	if err := in.checkFreshName(s.Name); err != nil {
+		return err
 	}
 	layouts := make([]dist.Layout, 2)
-	for d, ps := range parts {
-		saveP := in.procs
-		in.procs = dims[d]
-		l, err := in.parseDist(strings.TrimSpace(ps), n[d])
-		in.procs = saveP
+	for d := range s.Dists {
+		l, err := layoutFor(s.Dists[d], dims[d], s.Extents[d])
 		if err != nil {
 			return err
 		}
@@ -103,108 +72,72 @@ func (in *Interp) execArray2(name string, extents []string, spec, gridName strin
 	if err != nil {
 		return err
 	}
-	a, err := hpf.NewArray2D(g, n[0], n[1])
+	a, err := hpf.NewArray2D(g, s.Extents[0], s.Extents[1])
 	if err != nil {
 		return err
 	}
-	in.arrays2[name] = a
+	in.arrays2[s.Name] = a
 	return nil
 }
 
-// parseRef2 parses NAME(sec0, sec1) against a declared 2-D array.
-func (in *Interp) parseRef2(ref string) (string, section.Rect, error) {
-	i := strings.IndexByte(ref, '(')
-	name := ref
-	if i >= 0 {
-		name = ref[:i]
-	}
-	a, ok := in.arrays2[name]
+// array2 resolves a reference against the declared 2-D arrays and turns
+// its subscripts into a rect (the whole array for a bare name).
+func (in *Interp) array2(ref *ast.Ref) (*hpf.Array2D, section.Rect, error) {
+	a, ok := in.arrays2[ref.Name]
 	if !ok {
-		return "", nil, fmt.Errorf("unknown 2-D array %q", name)
+		return nil, nil, fmt.Errorf("unknown 2-D array %q", ref.Name)
 	}
 	n0, n1 := a.Dims()
-	if i < 0 {
+	if ref.Whole {
 		rect, _ := section.NewRect(
 			section.Section{Lo: 0, Hi: n0 - 1, Stride: 1},
 			section.Section{Lo: 0, Hi: n1 - 1, Stride: 1},
 		)
-		return name, rect, nil
+		return a, rect, nil
 	}
-	if !strings.HasSuffix(ref, ")") {
-		return "", nil, fmt.Errorf("malformed reference %q", ref)
-	}
-	inner := ref[i+1 : len(ref)-1]
-	dims := strings.Split(inner, ",")
-	if len(dims) != 2 {
-		return "", nil, fmt.Errorf("2-D reference needs 2 subscripts, got %q", inner)
+	if len(ref.Subs) != 2 {
+		return nil, nil, fmt.Errorf("2-D reference needs 2 subscripts, got %d", len(ref.Subs))
 	}
 	secs := make([]section.Section, 2)
-	for d, tri := range dims {
-		sec, err := parseTriplet(strings.TrimSpace(tri))
+	for d, t := range ref.Subs {
+		sec, err := section.New(t.Lo, t.Hi, t.Stride)
 		if err != nil {
-			return "", nil, err
+			return nil, nil, err
 		}
 		secs[d] = sec
 	}
 	rect, err := section.NewRect(secs...)
 	if err != nil {
-		return "", nil, err
+		return nil, nil, err
 	}
-	return name, rect, nil
-}
-
-// parseTriplet parses lo:hi[:stride].
-func parseTriplet(tri string) (section.Section, error) {
-	parts := strings.Split(tri, ":")
-	if len(parts) < 2 || len(parts) > 3 {
-		return section.Section{}, fmt.Errorf("malformed triplet %q", tri)
-	}
-	nums := make([]int64, len(parts))
-	for i, p := range parts {
-		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
-		if err != nil {
-			return section.Section{}, fmt.Errorf("malformed triplet %q: %v", tri, err)
-		}
-		nums[i] = v
-	}
-	stride := int64(1)
-	if len(nums) == 3 {
-		stride = nums[2]
-	}
-	return section.New(nums[0], nums[1], stride)
-}
-
-// is2DRef reports whether a reference names a declared 2-D array.
-func (in *Interp) is2DRef(ref string) bool {
-	name := ref
-	if i := strings.IndexByte(ref, '('); i >= 0 {
-		name = ref[:i]
-	}
-	_, ok := in.arrays2[name]
-	return ok
+	return a, rect, nil
 }
 
 // execAssign2 handles 2-D assignments: rect fill, rect copy, transpose.
-func (in *Interp) execAssign2(lhs, rhs string) error {
-	dstName, dstRect, err := in.parseRef2(lhs)
+func (in *Interp) execAssign2(s *ast.Assign) error {
+	dst, dstRect, err := in.array2(s.LHS)
 	if err != nil {
 		return err
 	}
-	dst := in.arrays2[dstName]
-
-	if v, err := strconv.ParseFloat(rhs, 64); err == nil {
-		return dst.FillRect(dstRect, v)
-	}
+	var src *hpf.Array2D
+	var srcRect section.Rect
 	transpose := false
-	if rest, ok := strings.CutPrefix(rhs, "transpose "); ok {
+	switch rhs := s.RHS.(type) {
+	case *ast.Scalar:
+		return dst.FillRect(dstRect, rhs.Val)
+	case *ast.Binary:
+		return fmt.Errorf("2-D assignments support fill, copy and transpose only")
+	case *ast.Transpose:
 		transpose = true
-		rhs = strings.TrimSpace(rest)
+		src, srcRect, err = in.array2(rhs.Src)
+	case *ast.Ref:
+		src, srcRect, err = in.array2(rhs)
+	default:
+		return fmt.Errorf("unsupported expression %T", s.RHS)
 	}
-	srcName, srcRect, err := in.parseRef2(rhs)
 	if err != nil {
-		return fmt.Errorf("right-hand side %q: %w", rhs, err)
+		return fmt.Errorf("right-hand side: %w", err)
 	}
-	src := in.arrays2[srcName]
 	in.ensureMachine(max(dst.Grid().Procs(), src.Grid().Procs()))
 	if transpose {
 		return comm.Transpose2D(in.machine, dst, dstRect, src, srcRect)
@@ -213,34 +146,33 @@ func (in *Interp) execAssign2(lhs, rhs string) error {
 }
 
 // execSum2 handles: sum M(rect)
-func (in *Interp) execSum2(ref string) error {
-	name, rect, err := in.parseRef2(ref)
+func (in *Interp) execSum2(ref *ast.Ref) error {
+	a, rect, err := in.array2(ref)
 	if err != nil {
 		return err
 	}
-	total, err := in.arrays2[name].SumRect(rect)
+	total, err := a.SumRect(rect)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(in.out, "sum %s%v = %s\n", name, rect,
+	fmt.Fprintf(in.out, "sum %s%v = %s\n", ref.Name, rect,
 		strconv.FormatFloat(total, 'g', -1, 64))
 	return nil
 }
 
 // execPrint2 handles: print M(rect), row per first-dimension element.
-func (in *Interp) execPrint2(ref string) error {
-	name, rect, err := in.parseRef2(ref)
+func (in *Interp) execPrint2(ref *ast.Ref) error {
+	a, rect, err := in.array2(ref)
 	if err != nil {
 		return err
 	}
-	a := in.arrays2[name]
 	n0, n1 := a.Dims()
 	asc0, _ := rect[0].Ascending()
 	asc1, _ := rect[1].Ascending()
 	if !rect.Empty() && (asc0.Lo < 0 || asc0.Last() >= n0 || asc1.Lo < 0 || asc1.Last() >= n1) {
-		return fmt.Errorf("reference %s%v outside array %dx%d", name, rect, n0, n1)
+		return fmt.Errorf("reference %s%v outside array %dx%d", ref.Name, rect, n0, n1)
 	}
-	fmt.Fprintf(in.out, "%s%v =\n", name, rect)
+	fmt.Fprintf(in.out, "%s%v =\n", ref.Name, rect)
 	for _, i := range rect[0].Slice() {
 		parts := make([]string, 0, rect[1].Count())
 		for _, j := range rect[1].Slice() {
