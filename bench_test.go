@@ -18,7 +18,14 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+	"repro/internal/plancache"
+	"repro/internal/redist"
+	"repro/internal/section"
 )
 
 const benchProcs = 32 // the paper's processor count
@@ -163,3 +170,136 @@ func BenchmarkAblation(b *testing.B) {
 		})
 	}
 }
+
+// benchCachedVsUncached runs op as two sub-benchmarks: Uncached clears
+// every runtime cache before each iteration (full planning cost every
+// time), Cached warms the caches once and then measures the steady
+// state. Both report allocations.
+func benchCachedVsUncached(b *testing.B, op func() error) {
+	b.Helper()
+	reset := func() {
+		hpf.ResetSectionPlanCache()
+		comm.ResetPlanCache()
+		comm.ResetPlanCache2D()
+		plancache.ResetTables()
+	}
+	b.Run("Uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reset()
+			if err := op(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		reset()
+		if err := op(); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		warm := totalMisses()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := op(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if steady := totalMisses() - warm; steady != 0 {
+			b.Fatalf("steady state missed the caches %d times, want 0", steady)
+		}
+	})
+}
+
+func totalMisses() int64 {
+	return hpf.SectionPlanCacheStats().Misses +
+		comm.PlanCacheStats().Misses +
+		comm.PlanCache2DStats().Misses +
+		plancache.TableStats().Misses
+}
+
+// BenchmarkSectionAssignCache: A(1:n-2:3) = v plus a pointwise map —
+// pure address generation, no communication.
+func BenchmarkSectionAssignCache(b *testing.B) {
+	const n = benchProcs * 32
+	a := hpf.MustNewArray(dist.MustNew(benchProcs, 8), n)
+	sec := section.Section{Lo: 1, Hi: n - 2, Stride: 3}
+	benchCachedVsUncached(b, func() error {
+		if err := a.FillSection(sec, 1); err != nil {
+			return err
+		}
+		return a.MapSection(sec, func(v float64) float64 { return v * 0.5 })
+	})
+}
+
+// BenchmarkJacobiIterationCache: one sweep of the Jacobi example —
+// Combine of shifted sections, scale, copy back.
+func BenchmarkJacobiIterationCache(b *testing.B) {
+	const n = benchProcs * 16
+	m := machine.MustNew(benchProcs)
+	layout := dist.MustNew(benchProcs, 4)
+	x := hpf.MustNewArray(layout, n)
+	tmp := hpf.MustNewArray(layout, n)
+	interior := section.Section{Lo: 1, Hi: n - 2, Stride: 1}
+	left := section.Section{Lo: 0, Hi: n - 3, Stride: 1}
+	right := section.Section{Lo: 2, Hi: n - 1, Stride: 1}
+	benchCachedVsUncached(b, func() error {
+		if err := comm.Combine(m, tmp, interior, x, left, x, right, comm.Add); err != nil {
+			return err
+		}
+		if err := tmp.MapSection(interior, func(v float64) float64 { return 0.5 * v }); err != nil {
+			return err
+		}
+		return comm.Copy(m, x, interior, tmp, interior)
+	})
+}
+
+// BenchmarkRedistributeCache: a cyclic(4) ⇄ cyclic(7) bounce.
+func BenchmarkRedistributeCache(b *testing.B) {
+	const n = benchProcs * 16
+	m := machine.MustNew(benchProcs)
+	ra := hpf.MustNewArray(dist.MustNew(benchProcs, 4), n)
+	rb := hpf.MustNewArray(dist.MustNew(benchProcs, 7), n)
+	benchCachedVsUncached(b, func() error {
+		if err := redist.RedistributeInto(m, rb, ra); err != nil {
+			return err
+		}
+		return redist.RedistributeInto(m, ra, rb)
+	})
+}
+
+// BenchmarkSequenceInto compares the allocating Sequence call with the
+// buffer-reusing SequenceInto variant on a cached TableSet.
+func BenchmarkSequenceInto(b *testing.B) {
+	for _, k := range []int64{32, 256} {
+		ts, err := core.NewTableSet(benchProcs, k, 0, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d/Sequence", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seq, err := ts.Sequence(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkGaps += len(seq.Gaps)
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/SequenceInto", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []int64
+			for i := 0; i < b.N; i++ {
+				seq, err := ts.SequenceInto(0, buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = seq.Gaps
+				sinkGaps += len(seq.Gaps)
+			}
+		})
+	}
+}
+
+var sinkGaps int

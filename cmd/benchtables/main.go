@@ -4,13 +4,17 @@
 //	benchtables -table 1              # Table 1 (lattice vs sorting)
 //	benchtables -figure 7             # Figure 7 series (s = 7)
 //	benchtables -table 2              # Table 2 (node code shapes)
+//	benchtables -cache                # plan-cache cold vs warm families
 //	benchtables -all                  # everything
+//	benchtables -all -json out.json   # also write machine-readable results
 //
 // Times are wall-clock microseconds on the current host; compare shapes
 // and ratios with the paper, not absolute values (see EXPERIMENTS.md).
+// The -json schema is documented in README.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,50 +24,182 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate Table 1 or 2")
-		figure = flag.Int("figure", 0, "regenerate Figure 7")
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		procs  = flag.Int64("p", 32, "processor count (the paper uses 32)")
-		reps   = flag.Int("reps", 5, "measurement repetitions (min of maxima kept)")
-		elems  = flag.Int64("elems", 10000, "assignments per processor for Table 2")
+		table    = flag.Int("table", 0, "regenerate Table 1 or 2")
+		figure   = flag.Int("figure", 0, "regenerate Figure 7")
+		cache    = flag.Bool("cache", false, "run the plan-cache cold/warm families")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		procs    = flag.Int64("p", 32, "processor count (the paper uses 32)")
+		reps     = flag.Int("reps", 5, "measurement repetitions (min of maxima kept)")
+		elems    = flag.Int64("elems", 10000, "assignments per processor for Table 2")
+		jsonPath = flag.String("json", "", "write machine-readable results to this file")
 	)
 	flag.Parse()
-	if err := run(*table, *figure, *all, *procs, *reps, *elems); err != nil {
+	cfg := config{
+		Table: *table, Figure: *figure, Cache: *cache, All: *all,
+		Procs: *procs, Reps: *reps, Elems: *elems, JSONPath: *jsonPath,
+	}
+	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 }
 
+type config struct {
+	Table, Figure int
+	Cache, All    bool
+	Procs         int64
+	Reps          int
+	Elems         int64
+	JSONPath      string
+}
+
+// report is the -json output document. Schema: see README.md
+// ("Machine-readable benchmark output"). All durations are nanoseconds.
+type report struct {
+	Schema  string            `json:"schema"` // "benchtables/v1"
+	Config  reportConfig      `json:"config"`
+	Table1  []reportRow       `json:"table1,omitempty"`
+	Figure7 []reportRow       `json:"figure7,omitempty"`
+	Table2  []reportTable2Row `json:"table2,omitempty"`
+	Cache   []reportCacheRow  `json:"cache,omitempty"`
+}
+
+type reportConfig struct {
+	Procs int64 `json:"procs"`
+	Reps  int   `json:"reps"`
+	Elems int64 `json:"elems"`
+}
+
+type reportCell struct {
+	Stride    string `json:"stride"`
+	LatticeNs int64  `json:"lattice_ns"`
+	SortingNs int64  `json:"sorting_ns"`
+}
+
+type reportRow struct {
+	K     int64        `json:"k"`
+	Cells []reportCell `json:"cells"`
+}
+
+type reportTable2Row struct {
+	K       int64            `json:"k"`
+	S       int64            `json:"s"`
+	ShapeNs map[string]int64 `json:"shape_ns"`
+}
+
+type reportCacheRow struct {
+	Name                string  `json:"name"`
+	UncachedNsPerOp     float64 `json:"uncached_ns_per_op"`
+	CachedNsPerOp       float64 `json:"cached_ns_per_op"`
+	UncachedAllocsPerOp float64 `json:"uncached_allocs_per_op"`
+	CachedAllocsPerOp   float64 `json:"cached_allocs_per_op"`
+	HitRate             float64 `json:"hit_rate"`
+	SteadyMisses        int64   `json:"steady_misses"`
+}
+
+func toReportRows(rows []bench.Row) []reportRow {
+	out := make([]reportRow, 0, len(rows))
+	for _, r := range rows {
+		rr := reportRow{K: r.K}
+		for _, c := range r.Cells {
+			rr.Cells = append(rr.Cells, reportCell{
+				Stride:    c.Stride,
+				LatticeNs: c.Lattice.Nanoseconds(),
+				SortingNs: c.Sorting.Nanoseconds(),
+			})
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+// run keeps the original positional signature used by the tests; it
+// never writes JSON.
 func run(table, figure int, all bool, procs int64, reps int, elems int64) error {
+	return runConfig(config{
+		Table: table, Figure: figure, All: all,
+		Procs: procs, Reps: reps, Elems: elems,
+	})
+}
+
+func runConfig(cfg config) error {
+	rep := report{
+		Schema: "benchtables/v1",
+		Config: reportConfig{Procs: cfg.Procs, Reps: cfg.Reps, Elems: cfg.Elems},
+	}
 	did := false
-	if all || table == 1 {
-		rows, err := bench.Table1(procs, reps)
+	if cfg.All || cfg.Table == 1 {
+		rows, err := bench.Table1(cfg.Procs, cfg.Reps)
 		if err != nil {
 			return err
 		}
 		fmt.Print(bench.FormatTable1(rows))
 		fmt.Println()
+		rep.Table1 = toReportRows(rows)
 		did = true
 	}
-	if all || figure == 7 {
-		rows, err := bench.Figure7(procs, reps)
+	if cfg.All || cfg.Figure == 7 {
+		rows, err := bench.Figure7(cfg.Procs, cfg.Reps)
 		if err != nil {
 			return err
 		}
 		fmt.Print(bench.FormatFigure7(rows))
 		fmt.Println()
+		rep.Figure7 = toReportRows(rows)
 		did = true
 	}
-	if all || table == 2 {
-		results, err := bench.Table2(procs, elems, reps)
+	if cfg.All || cfg.Table == 2 {
+		results, err := bench.Table2(cfg.Procs, cfg.Elems, cfg.Reps)
 		if err != nil {
 			return err
 		}
 		fmt.Print(bench.FormatTable2(results))
 		did = true
+		for _, r := range results {
+			row := reportTable2Row{K: r.Case.K, S: r.Case.S, ShapeNs: make(map[string]int64)}
+			for sh, d := range r.Times {
+				row.ShapeNs[string(sh)] = d.Nanoseconds()
+			}
+			rep.Table2 = append(rep.Table2, row)
+		}
+	}
+	if cfg.All || cfg.Cache {
+		// Iterations scale with reps; 20 per rep keeps a single run fast
+		// while averaging out scheduler noise.
+		results, err := bench.CacheBenchmarks(cfg.Procs, 20*cfg.Reps)
+		if err != nil {
+			return err
+		}
+		if did {
+			fmt.Println()
+		}
+		fmt.Print(bench.FormatCacheBench(results))
+		did = true
+		for _, r := range results {
+			rep.Cache = append(rep.Cache, reportCacheRow{
+				Name:                r.Name,
+				UncachedNsPerOp:     r.UncachedNsPerOp,
+				CachedNsPerOp:       r.CachedNsPerOp,
+				UncachedAllocsPerOp: r.UncachedAllocsPerOp,
+				CachedAllocsPerOp:   r.CachedAllocsPerOp,
+				HitRate:             r.HitRate,
+				SteadyMisses:        r.SteadyMisses,
+			})
+		}
 	}
 	if !did {
-		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7 or -all")
+		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache or -all")
+	}
+	if cfg.JSONPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(cfg.JSONPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", cfg.JSONPath)
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // The run paths are exercised with tiny workloads; absolute timings are
 // irrelevant here, only that every table renders without error.
@@ -25,5 +30,35 @@ func TestRunTable2(t *testing.T) {
 func TestRunNothingSelected(t *testing.T) {
 	if err := run(0, 0, false, 2, 1, 100); err == nil {
 		t.Error("no selection should fail")
+	}
+}
+
+func TestRunCacheWithJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	cfg := config{Cache: true, Procs: 2, Reps: 1, Elems: 100, JSONPath: path}
+	if err := runConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != "benchtables/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Cache) != 3 {
+		t.Errorf("got %d cache rows, want 3", len(rep.Cache))
+	}
+	for _, r := range rep.Cache {
+		if r.SteadyMisses != 0 {
+			t.Errorf("%s: steady misses = %d, want 0", r.Name, r.SteadyMisses)
+		}
+	}
+	if rep.Config.Procs != 2 {
+		t.Errorf("config procs = %d", rep.Config.Procs)
 	}
 }

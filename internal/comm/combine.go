@@ -28,19 +28,16 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 			nprocs, p.NDst, p.NSrc)
 	}
 	const tag = "comm.combine"
-	srcLayout := src.Layout()
-	dstLayout := dst.Layout()
+	e := p.execFor(src.Layout(), dst.Layout())
 	m.Run(func(proc *machine.Proc) {
 		me := int64(proc.Rank())
 		if me < p.NSrc {
 			mem := src.LocalMem(me)
 			for r := int64(0); r < p.NDst; r++ {
-				var buf []float64
-				for _, ts := range p.Transfers[me][r] {
-					for _, t := range ts.Slice() {
-						g := p.SrcSec.Element(t)
-						buf = append(buf, mem[srcLayout.Local(g)])
-					}
+				addrs := e.pack[me][r]
+				buf := machine.GetBuf(len(addrs))
+				for _, a := range addrs {
+					buf = append(buf, mem[a])
 				}
 				proc.Send(int(r), tag, buf, nil)
 			}
@@ -49,25 +46,26 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 			mem := dst.LocalMem(me)
 			for q := int64(0); q < p.NSrc; q++ {
 				msg := proc.Recv(int(q), tag)
-				i := 0
-				for _, ts := range p.Transfers[q][me] {
-					for _, t := range ts.Slice() {
-						g := p.DstSec.Element(t)
-						addr := dstLayout.Local(g)
-						mem[addr] = op(mem[addr], msg.Data[i])
-						i++
-					}
+				addrs := e.unpack[q][me]
+				if len(msg.Data) != len(addrs) {
+					panic(fmt.Sprintf("comm: received %d of %d values from proc %d",
+						len(msg.Data), len(addrs), q))
 				}
+				for i, a := range addrs {
+					mem[a] = op(mem[a], msg.Data[i])
+				}
+				machine.PutBuf(msg.Data)
 			}
 		}
 	})
 	return nil
 }
 
-// Accumulate plans and executes dst(dstSec) op= src(srcSec).
+// Accumulate plans and executes dst(dstSec) op= src(srcSec), reusing a
+// cached plan when the pattern recurs.
 func Accumulate(m *machine.Machine, dst *hpf.Array, dstSec section.Section,
 	src *hpf.Array, srcSec section.Section, op BinOp) error {
-	plan, err := NewPlan(dst.Layout(), dst.N(), dstSec, src.Layout(), src.N(), srcSec)
+	plan, err := CachedPlan(dst.Layout(), dst.N(), dstSec, src.Layout(), src.N(), srcSec)
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@ package comm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/hpf"
@@ -35,6 +36,57 @@ type Plan struct {
 	// Transfers[q][r] = position sections moved from source proc q to
 	// destination proc r.
 	Transfers [][][]section.Section
+
+	// exec caches the compiled pack/unpack local-address lists for the
+	// layouts the plan was last executed against, so repeated executions
+	// (the cached steady state) index straight into local memory instead
+	// of re-deriving section elements and owner addresses per value.
+	exec atomic.Pointer[planExec]
+}
+
+// planExec is a plan compiled against concrete layouts: for every
+// (source q, destination r) pair, the source local addresses to pack
+// (in transfer order) and the destination local addresses to unpack
+// into (same order). Built once per (plan, layouts) and reused by every
+// Execute/ExecuteWith.
+type planExec struct {
+	srcLayout, dstLayout dist.Layout
+	pack                 [][][]int64 // [q][r] source local addresses
+	unpack               [][][]int64 // [q][r] destination local addresses
+}
+
+// execFor returns the compiled address lists for the given layouts,
+// building them on first use. Concurrent builders race benignly: both
+// compute identical lists and the last store wins.
+func (p *Plan) execFor(srcLayout, dstLayout dist.Layout) *planExec {
+	if e := p.exec.Load(); e != nil && e.srcLayout == srcLayout && e.dstLayout == dstLayout {
+		return e
+	}
+	e := &planExec{
+		srcLayout: srcLayout,
+		dstLayout: dstLayout,
+		pack:      make([][][]int64, p.NSrc),
+		unpack:    make([][][]int64, p.NSrc),
+	}
+	for q := int64(0); q < p.NSrc; q++ {
+		e.pack[q] = make([][]int64, p.NDst)
+		e.unpack[q] = make([][]int64, p.NDst)
+		for r := int64(0); r < p.NDst; r++ {
+			var pa, ua []int64
+			for _, ts := range p.Transfers[q][r] {
+				n := ts.Count()
+				for j := int64(0); j < n; j++ {
+					t := ts.Element(j)
+					pa = append(pa, srcLayout.Local(p.SrcSec.Element(t)))
+					ua = append(ua, dstLayout.Local(p.DstSec.Element(t)))
+				}
+			}
+			e.pack[q][r] = pa
+			e.unpack[q][r] = ua
+		}
+	}
+	p.exec.Store(e)
+	return e
 }
 
 // OwnedPositions returns the arithmetic progressions of positions t in
@@ -157,20 +209,19 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 			nprocs, p.NDst, p.NSrc)
 	}
 	const tag = "comm.copy"
-	srcLayout := src.Layout()
-	dstLayout := dst.Layout()
+	e := p.execFor(src.Layout(), dst.Layout())
 	m.Run(func(proc *machine.Proc) {
 		me := int64(proc.Rank())
-		// Pack and send (or keep) every outgoing transfer.
+		// Pack and send (or keep) every outgoing transfer. Buffers come
+		// from the machine's pool; ownership transfers with the message
+		// and the receiver recycles them after unpacking.
 		if me < p.NSrc {
 			mem := src.LocalMem(me)
 			for r := int64(0); r < p.NDst; r++ {
-				var buf []float64
-				for _, ts := range p.Transfers[me][r] {
-					for _, t := range ts.Slice() {
-						g := p.SrcSec.Element(t)
-						buf = append(buf, mem[srcLayout.Local(g)])
-					}
+				addrs := e.pack[me][r]
+				buf := machine.GetBuf(len(addrs))
+				for _, a := range addrs {
+					buf = append(buf, mem[a])
 				}
 				// The processor-local portion also goes through the mailbox,
 				// keeping the unpack path uniform.
@@ -182,28 +233,28 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 			mem := dst.LocalMem(me)
 			for q := int64(0); q < p.NSrc; q++ {
 				msg := proc.Recv(int(q), tag)
-				i := 0
-				for _, ts := range p.Transfers[q][me] {
-					for _, t := range ts.Slice() {
-						g := p.DstSec.Element(t)
-						mem[dstLayout.Local(g)] = msg.Data[i]
-						i++
-					}
+				addrs := e.unpack[q][me]
+				if len(msg.Data) != len(addrs) {
+					panic(fmt.Sprintf("comm: received %d of %d values from proc %d",
+						len(msg.Data), len(addrs), q))
 				}
-				if i != len(msg.Data) {
-					panic(fmt.Sprintf("comm: unpacked %d of %d values from proc %d",
-						i, len(msg.Data), q))
+				for i, a := range addrs {
+					mem[a] = msg.Data[i]
 				}
+				machine.PutBuf(msg.Data)
 			}
 		}
 	})
 	return nil
 }
 
-// Copy plans and executes dst(dstSec) = src(srcSec) in one call.
+// Copy plans and executes dst(dstSec) = src(srcSec) in one call,
+// consulting the plan cache: a repeated (layouts, sections) pattern —
+// the inner loop of an iterative solver — reuses the memoized schedule
+// and its compiled pack/unpack addresses instead of replanning.
 func Copy(m *machine.Machine, dst *hpf.Array, dstSec section.Section,
 	src *hpf.Array, srcSec section.Section) error {
-	plan, err := NewPlan(dst.Layout(), dst.N(), dstSec, src.Layout(), src.N(), srcSec)
+	plan, err := CachedPlan(dst.Layout(), dst.N(), dstSec, src.Layout(), src.N(), srcSec)
 	if err != nil {
 		return err
 	}

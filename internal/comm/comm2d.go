@@ -31,6 +31,11 @@ type Plan2D struct {
 	// axis[a][qd][rd] lists the position progressions along axis a moved
 	// from source dim-owner qd to destination dim-owner rd.
 	axis [2][][][]section.Section
+
+	// pos[a][qd][rd] is axis[a][qd][rd] materialized and sorted — the
+	// canonical position order shared by packer and unpacker, computed
+	// once at planning time so Execute allocates nothing per transfer.
+	pos [2][][][]int64
 }
 
 // NewPlan2D builds the schedule. perm selects the source dimension that
@@ -92,6 +97,13 @@ func NewPlan2D(dstGrid *dist.Grid, dstExt []int64, dstRect section.Rect,
 				}
 			}
 		}
+		p.pos[a] = make([][][]int64, nq)
+		for q := int64(0); q < nq; q++ {
+			p.pos[a][q] = make([][]int64, nr)
+			for r := int64(0); r < nr; r++ {
+				p.pos[a][q][r] = p.positions(a, q, r)
+			}
+		}
 	}
 	return p, nil
 }
@@ -132,9 +144,9 @@ func (p *Plan2D) Execute(m *machine.Machine, dst, src *hpf.Array2D) error {
 			for r := int64(0); r < p.DstGrid.Procs(); r++ {
 				rc := p.DstGrid.Coords(r)
 				// q's dim-owner coordinate for axis a is qc[Perm[a]].
-				t0s := p.positions(0, qc[p.Perm[0]], rc[0])
-				t1s := p.positions(1, qc[p.Perm[1]], rc[1])
-				buf := make([]float64, 0, len(t0s)*len(t1s))
+				t0s := p.pos[0][qc[p.Perm[0]]][rc[0]]
+				t1s := p.pos[1][qc[p.Perm[1]]][rc[1]]
+				buf := machine.GetBuf(len(t0s) * len(t1s))
 				for _, t0 := range t0s {
 					for _, t1 := range t1s {
 						// Source element for position (t0, t1).
@@ -161,8 +173,8 @@ func (p *Plan2D) Execute(m *machine.Machine, dst, src *hpf.Array2D) error {
 			for q := int64(0); q < p.SrcGrid.Procs(); q++ {
 				qc := p.SrcGrid.Coords(q)
 				msg := proc.Recv(int(q), tag)
-				t0s := p.positions(0, qc[p.Perm[0]], rc[0])
-				t1s := p.positions(1, qc[p.Perm[1]], rc[1])
+				t0s := p.pos[0][qc[p.Perm[0]]][rc[0]]
+				t1s := p.pos[1][qc[p.Perm[1]]][rc[1]]
 				n := 0
 				for _, t0 := range t0s {
 					i := p.DstRect[0].Element(t0)
@@ -177,6 +189,7 @@ func (p *Plan2D) Execute(m *machine.Machine, dst, src *hpf.Array2D) error {
 				if n != len(msg.Data) {
 					panic(fmt.Sprintf("comm: 2-D unpack consumed %d of %d values", n, len(msg.Data)))
 				}
+				machine.PutBuf(msg.Data)
 			}
 		}
 	})
@@ -184,12 +197,13 @@ func (p *Plan2D) Execute(m *machine.Machine, dst, src *hpf.Array2D) error {
 }
 
 // Copy2D plans and executes dst(dstRect) = src(srcRect) elementwise in
-// row-major position order.
+// row-major position order, reusing a cached plan when the pattern
+// recurs.
 func Copy2D(m *machine.Machine, dst *hpf.Array2D, dstRect section.Rect,
 	src *hpf.Array2D, srcRect section.Rect) error {
 	dn0, dn1 := dst.Dims()
 	sn0, sn1 := src.Dims()
-	plan, err := NewPlan2D(dst.Grid(), []int64{dn0, dn1}, dstRect,
+	plan, err := CachedPlan2D(dst.Grid(), []int64{dn0, dn1}, dstRect,
 		src.Grid(), []int64{sn0, sn1}, srcRect, [2]int{0, 1})
 	if err != nil {
 		return err
@@ -204,7 +218,7 @@ func Transpose2D(m *machine.Machine, dst *hpf.Array2D, dstRect section.Rect,
 	src *hpf.Array2D, srcRect section.Rect) error {
 	dn0, dn1 := dst.Dims()
 	sn0, sn1 := src.Dims()
-	plan, err := NewPlan2D(dst.Grid(), []int64{dn0, dn1}, dstRect,
+	plan, err := CachedPlan2D(dst.Grid(), []int64{dn0, dn1}, dstRect,
 		src.Grid(), []int64{sn0, sn1}, srcRect, [2]int{1, 0})
 	if err != nil {
 		return err

@@ -25,31 +25,41 @@ type OffsetTable struct {
 // For processors that own no section elements, Start is -1 and both
 // tables are all-unused.
 func OffsetTables(pr Problem) (OffsetTable, error) {
-	if err := pr.Validate(); err != nil {
+	var ot OffsetTable
+	if err := OffsetTablesInto(pr, &ot); err != nil {
 		return OffsetTable{}, err
+	}
+	return ot, nil
+}
+
+// OffsetTablesInto is OffsetTables writing into ot, reusing its Delta
+// and NextOffset storage when the capacity suffices — the
+// allocation-free variant for loops that rebuild shape 8(d) tables.
+func OffsetTablesInto(pr Problem, ot *OffsetTable) error {
+	if err := pr.Validate(); err != nil {
+		return err
 	}
 	pk := pr.P * pr.K
 	d, x, _ := intmath.ExtGCD(pr.S, pk)
 	start, length := pr.startScan(pk, d, x, nil)
 
-	ot := OffsetTable{
-		Delta:      make([]int64, pr.K),
-		NextOffset: make([]int64, pr.K),
-		Start:      -1,
-		Length:     length,
-	}
-	for i := range ot.NextOffset {
+	ot.Delta = sizedGaps(ot.Delta, pr.K)
+	ot.NextOffset = sizedGaps(ot.NextOffset, pr.K)
+	ot.Start = -1
+	ot.Length = length
+	for i := range ot.Delta {
+		ot.Delta[i] = 0
 		ot.NextOffset[i] = -1
 	}
 	switch length {
 	case 0:
-		return ot, nil
+		return nil
 	case 1:
 		off := intmath.FloorMod(start, pr.K)
 		ot.Start = off
 		ot.Delta[off] = pr.K * pr.S / d
 		ot.NextOffset[off] = off
-		return ot, nil
+		return nil
 	}
 
 	lat := problemLattice(pr, pk, d, x)
@@ -85,7 +95,7 @@ func OffsetTables(pr Problem) (OffsetTable, error) {
 		ot.NextOffset[cur] = offset - lo
 		i++
 	}
-	return ot, nil
+	return nil
 }
 
 // Transition describes one state of the finite-state-machine view of the

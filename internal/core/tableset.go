@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/intmath"
 )
@@ -82,6 +84,15 @@ func NewTableSet(p, k, l, s int64) (*TableSet, error) {
 // Lattice(Problem{...M: m}) but reusing the shared tables: only the O(k)
 // start scan runs per processor.
 func (ts *TableSet) Sequence(m int64) (Sequence, error) {
+	return ts.SequenceInto(m, nil)
+}
+
+// SequenceInto is Sequence writing the gap table into buf's storage
+// (buf's length is ignored; its capacity is reused and grown as needed).
+// The returned Sequence's Gaps alias buf, so callers own exactly one
+// live copy — the allocation-free variant for hot loops that rebuild
+// sequences into scratch buffers.
+func (ts *TableSet) SequenceInto(m int64, buf []int64) (Sequence, error) {
 	if m < 0 || m >= ts.p {
 		return Sequence{}, fmt.Errorf("core: processor %d outside [0, %d)", m, ts.p)
 	}
@@ -91,13 +102,14 @@ func (ts *TableSet) Sequence(m int64) (Sequence, error) {
 	case 0:
 		return Sequence{Start: -1}, nil
 	case 1:
+		buf = append(buf[:0], ts.singleGap)
 		return Sequence{
 			Start:      start,
 			StartLocal: pr.localAddr(start, ts.pk),
-			Gaps:       []int64{ts.singleGap},
+			Gaps:       buf,
 		}, nil
 	}
-	gaps := make([]int64, length)
+	gaps := sizedGaps(buf, length)
 	o := intmath.FloorMod(start, ts.k)
 	for i := range gaps {
 		gaps[i] = ts.delta[o]
@@ -110,15 +122,62 @@ func (ts *TableSet) Sequence(m int64) (Sequence, error) {
 	}, nil
 }
 
-// All returns every processor's sequence.
+// sizedGaps returns buf resized to length, reusing its capacity when
+// possible.
+func sizedGaps(buf []int64, length int64) []int64 {
+	if int64(cap(buf)) >= length {
+		return buf[:length]
+	}
+	return make([]int64, length)
+}
+
+// All returns every processor's sequence. The per-processor start scans
+// are independent, so they run in parallel across the available CPUs
+// for large processor counts.
 func (ts *TableSet) All() ([]Sequence, error) {
 	out := make([]Sequence, ts.p)
-	for m := int64(0); m < ts.p; m++ {
-		seq, err := ts.Sequence(m)
+	workers := int64(runtime.GOMAXPROCS(0))
+	if workers > ts.p {
+		workers = ts.p
+	}
+	// Below this many processors the goroutine fan-out costs more than
+	// the O(k) scans it parallelizes.
+	if workers <= 1 || ts.p < 8 {
+		for m := int64(0); m < ts.p; m++ {
+			seq, err := ts.Sequence(m)
+			if err != nil {
+				return nil, err
+			}
+			out[m] = seq
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (ts.p + workers - 1) / workers
+	for w := int64(0); w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, ts.p)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int64) {
+			defer wg.Done()
+			for m := lo; m < hi; m++ {
+				seq, err := ts.Sequence(m)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[m] = seq
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[m] = seq
 	}
 	return out, nil
 }

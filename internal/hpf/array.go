@@ -148,12 +148,14 @@ func (a *Array) planSection(sec section.Section, m int64) (sectionPlan, error) {
 
 // FillSection performs the array assignment A(sec) = v, running the
 // Figure 8(b) node loop independently on every processor's local memory.
+// The per-processor plans come from the section-plan cache, so repeated
+// assignments to the same section build no tables after the first.
 func (a *Array) FillSection(sec section.Section, v float64) error {
-	for m := int64(0); m < a.layout.P(); m++ {
-		plan, err := a.planSection(sec, m)
-		if err != nil {
-			return err
-		}
+	sp, err := a.cachedSectionPlans(sec)
+	if err != nil || sp == nil {
+		return err
+	}
+	for m, plan := range sp.plans {
 		if plan.start < 0 {
 			continue
 		}
@@ -167,13 +169,13 @@ func (a *Array) FillSection(sec section.Section, v float64) error {
 }
 
 // MapSection applies f to every element of A(sec) in place:
-// A(sec) = f(A(sec)). Order independent.
+// A(sec) = f(A(sec)). Order independent; plans are cached.
 func (a *Array) MapSection(sec section.Section, f func(float64) float64) error {
-	for m := int64(0); m < a.layout.P(); m++ {
-		plan, err := a.planSection(sec, m)
-		if err != nil {
-			return err
-		}
+	sp, err := a.cachedSectionPlans(sec)
+	if err != nil || sp == nil {
+		return err
+	}
+	for m, plan := range sp.plans {
 		if plan.start < 0 {
 			continue
 		}
@@ -193,14 +195,14 @@ func (a *Array) MapSection(sec section.Section, f func(float64) float64) error {
 }
 
 // SumSection returns the sum over A(sec), computed per processor through
-// the access sequence and combined.
+// the access sequence and combined. Plans are cached.
 func (a *Array) SumSection(sec section.Section) (float64, error) {
 	var total float64
-	for m := int64(0); m < a.layout.P(); m++ {
-		plan, err := a.planSection(sec, m)
-		if err != nil {
-			return 0, err
-		}
+	sp, err := a.cachedSectionPlans(sec)
+	if err != nil || sp == nil {
+		return 0, err
+	}
+	for m, plan := range sp.plans {
 		if plan.start < 0 {
 			continue
 		}

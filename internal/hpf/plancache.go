@@ -1,0 +1,108 @@
+package hpf
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/plancache"
+	"repro/internal/section"
+)
+
+// Section operations (fill, map, sum) re-derive the same per-processor
+// node-loop plans every time an iterative program revisits a section.
+// The plans depend only on (layout, array size, normalized section), so
+// they are memoized process-wide: one entry holds every processor's
+// plan, built through the shared TableSet cache so the basis vectors
+// and transition table for the section's (p, k, l, s) are computed once
+// — the runtime realization of Section 6.1's compile-time hoisting.
+
+// sectionKey identifies one array-section node-loop pattern. The
+// section is keyed in ascending normal form (fill-type operations are
+// order independent, exactly as planSection normalizes).
+type sectionKey struct {
+	p, k, n        int64
+	lo, hi, stride int64
+}
+
+func hashSectionKey(k sectionKey) uint64 {
+	h := plancache.Mix(plancache.Mix(plancache.Mix(plancache.Seed, k.p), k.k), k.n)
+	return plancache.Mix(plancache.Mix(plancache.Mix(h, k.lo), k.hi), k.stride)
+}
+
+// sectionPlans holds the node-loop plan of every processor for one
+// cached pattern. Immutable after construction; gap tables are shared
+// read-only across all users.
+type sectionPlans struct {
+	plans []sectionPlan // indexed by processor rank
+}
+
+var sectionPlanCache = plancache.New[sectionKey, *sectionPlans](512, hashSectionKey)
+
+// SectionPlanCacheStats snapshots the section-plan cache counters;
+// Misses equal the number of full per-array plan constructions.
+func SectionPlanCacheStats() plancache.Stats { return sectionPlanCache.Stats() }
+
+// ResetSectionPlanCache drops all cached section plans and zeroes the
+// counters (benchmarks use this to measure the cold path).
+func ResetSectionPlanCache() { sectionPlanCache.Reset() }
+
+// cachedSectionPlans returns the memoized per-processor plans for the
+// section, building them on first use. A nil result (with nil error)
+// means the section is empty and there is nothing to do.
+func (a *Array) cachedSectionPlans(sec section.Section) (*sectionPlans, error) {
+	asc, _ := sec.Ascending()
+	if asc.Empty() {
+		return nil, nil
+	}
+	if asc.Lo < 0 || asc.Last() >= a.n {
+		return nil, fmt.Errorf("hpf: section %v outside array [0, %d)", sec, a.n)
+	}
+	key := sectionKey{
+		p: a.layout.P(), k: a.layout.K(), n: a.n,
+		lo: asc.Lo, hi: asc.Hi, stride: asc.Stride,
+	}
+	return sectionPlanCache.GetOrCompute(key, func() (*sectionPlans, error) {
+		return a.buildSectionPlans(asc)
+	})
+}
+
+// buildSectionPlans constructs every processor's plan through the
+// shared TableSet: the basis vectors and the offset-indexed transition
+// table are fetched (or built once) from the table cache, and only the
+// O(k) per-processor start scans run here.
+func (a *Array) buildSectionPlans(asc section.Section) (*sectionPlans, error) {
+	p, k := a.layout.P(), a.layout.K()
+	ts, err := plancache.Tables(p, k, asc.Lo, asc.Stride)
+	if err != nil {
+		return nil, err
+	}
+	u := asc.Last()
+	sp := &sectionPlans{plans: make([]sectionPlan, p)}
+	for m := int64(0); m < p; m++ {
+		pr := core.Problem{P: p, K: k, L: asc.Lo, S: asc.Stride, M: m}
+		count, err := pr.Count(u)
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 {
+			sp.plans[m] = sectionPlan{start: -1, last: -1, problem: pr}
+			continue
+		}
+		seq, err := ts.Sequence(m)
+		if err != nil {
+			return nil, err
+		}
+		lastGlobal, err := pr.Last(u)
+		if err != nil {
+			return nil, err
+		}
+		sp.plans[m] = sectionPlan{
+			start:   seq.StartLocal,
+			last:    a.layout.Local(lastGlobal),
+			gaps:    seq.Gaps,
+			count:   count,
+			problem: pr,
+		}
+	}
+	return sp, nil
+}

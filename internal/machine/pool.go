@@ -1,0 +1,41 @@
+package machine
+
+import "sync"
+
+// Message payload buffers churn hard under iterative communication:
+// every section copy packs one []float64 per (sender, receiver) pair and
+// abandons it after unpack. The pool recycles them across Run calls so
+// steady-state communication performs no payload allocation. Ownership
+// follows the message: the sender takes a buffer with GetBuf, Send
+// transfers it with the message, and the receiver returns it with PutBuf
+// once the payload is consumed.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]float64, 0, 64)
+		return &b
+	},
+}
+
+// maxPooledCap bounds what PutBuf retains, so one giant transfer does
+// not pin its buffer for the life of the process.
+const maxPooledCap = 1 << 20
+
+// GetBuf returns an empty buffer with capacity at least n, reusing
+// pooled storage when possible.
+func GetBuf(n int) []float64 {
+	bp := bufPool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, 0, n)
+	}
+	return (*bp)[:0]
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (or any other slice the
+// caller no longer references). The caller must not touch b afterwards.
+func PutBuf(b []float64) {
+	if b == nil || cap(b) > maxPooledCap {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

@@ -1,0 +1,164 @@
+package plancache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func intHash(k int64) uint64 { return Mix(Seed, k) }
+
+// oneShard funnels every key into a single shard so LRU order is
+// observable deterministically.
+func oneShard(capacity int) *Cache[int64, int64] {
+	return New[int64, int64](capacity, func(int64) uint64 { return 0 })
+}
+
+func TestGetPut(t *testing.T) {
+	c := New[int64, int64](64, intHash)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, 100)
+	if v, ok := c.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = %d, %v", v, ok)
+	}
+	c.Put(1, 200) // refresh
+	if v, _ := c.Get(1); v != 200 {
+		t.Fatalf("refresh lost: got %d", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Capacity rounds up to ceil(3/8) = 1 per shard; with one shard the
+	// whole cache holds one entry... use capacity 3*numShards to get
+	// exactly 3 in the single shard.
+	c := oneShard(3 * numShards)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	c.Get(1) // 1 becomes MRU; LRU order now 2, 3, 1
+	c.Put(4, 4)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted (was LRU)")
+	}
+	for _, k := range []int64{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%d missing after eviction of 2", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	const capacity = 16
+	c := New[int64, int64](capacity, intHash)
+	for i := int64(0); i < 1000; i++ {
+		c.Put(i, i)
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite 1000 inserts into capacity 16")
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	c := New[int64, int64](64, intHash)
+	calls := 0
+	build := func() (int64, error) { calls++; return 7, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCompute(5, build)
+		if err != nil || v != 7 {
+			t.Fatalf("GetOrCompute = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("build ran %d times, want 1", calls)
+	}
+	// Errors are not cached.
+	wantErr := fmt.Errorf("boom")
+	if _, err := c.GetOrCompute(6, func() (int64, error) { return 0, wantErr }); err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.Get(6); ok {
+		t.Fatal("failed build was cached")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int64, int64](64, intHash)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("entries survive Reset")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("counters survive Reset: %+v", st)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("value survives Reset")
+	}
+}
+
+// TestConcurrentTinyCapacity hammers a tiny cache from many goroutines
+// so gets, puts and evictions interleave; run with -race. Values must
+// always equal their key (no cross-key corruption).
+func TestConcurrentTinyCapacity(t *testing.T) {
+	c := New[int64, int64](2, intHash) // 1 entry per shard: constant eviction
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := r.Int63n(32)
+				switch r.Intn(3) {
+				case 0:
+					c.Put(k, k*10)
+				case 1:
+					if v, ok := c.Get(k); ok && v != k*10 {
+						t.Errorf("Get(%d) = %d", k, v)
+						return
+					}
+				default:
+					v, err := c.GetOrCompute(k, func() (int64, error) { return k * 10, nil })
+					if err != nil || v != k*10 {
+						t.Errorf("GetOrCompute(%d) = %d, %v", k, v, err)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("expected evictions under tiny capacity")
+	}
+	if st.Entries > 2*numShards {
+		t.Errorf("entries %d exceed bound", st.Entries)
+	}
+}
+
+func TestMixSpreads(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := int64(0); i < 64; i++ {
+		seen[Mix(Seed, i)%numShards] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("Mix maps all small keys to one shard")
+	}
+}

@@ -1,0 +1,155 @@
+package plancache
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// tableCase generates random valid (p, k, l, s, m) configurations for
+// testing/quick, covering small and large strides relative to pk.
+type tableCase struct {
+	P, K, L, S, M int64
+}
+
+func (tableCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	p := r.Int63n(12) + 1
+	k := r.Int63n(40) + 1
+	var s int64
+	switch r.Intn(4) {
+	case 0:
+		s = r.Int63n(8) + 1
+	case 1:
+		s = p*k - 1
+		if s < 1 {
+			s = 1
+		}
+	case 2:
+		s = p*k + 1
+	default:
+		s = r.Int63n(3*p*k) + 1
+	}
+	return reflect.ValueOf(tableCase{
+		P: p, K: k,
+		L: r.Int63n(4 * k),
+		S: s,
+		M: r.Int63n(p),
+	})
+}
+
+// TestCachedTableSetMatchesLattice is the cache-correctness property:
+// for randomized configurations the memoized TableSet produces exactly
+// the sequence the uncached Figure 5 algorithm computes.
+func TestCachedTableSetMatchesLattice(t *testing.T) {
+	ResetTables()
+	prop := func(tc tableCase) bool {
+		ts, err := Tables(tc.P, tc.K, tc.L, tc.S)
+		if err != nil {
+			t.Logf("Tables(%+v): %v", tc, err)
+			return false
+		}
+		got, err := ts.Sequence(tc.M)
+		if err != nil {
+			t.Logf("Sequence: %v", err)
+			return false
+		}
+		want, err := core.Lattice(core.Problem{P: tc.P, K: tc.K, L: tc.L, S: tc.S, M: tc.M})
+		if err != nil {
+			t.Logf("Lattice: %v", err)
+			return false
+		}
+		return got.Start == want.Start &&
+			got.StartLocal == want.StartLocal &&
+			reflect.DeepEqual(got.Gaps, want.Gaps)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedTableSetSeededSweep repeats the property over a fixed seeded
+// sweep so the regression surface is deterministic, and checks that the
+// second pass over the same configurations is all hits.
+func TestCachedTableSetSeededSweep(t *testing.T) {
+	ResetTables()
+	r := rand.New(rand.NewSource(42))
+	type cfg struct{ p, k, l, s int64 }
+	var cfgs []cfg
+	for i := 0; i < 60; i++ {
+		p := r.Int63n(8) + 1
+		k := r.Int63n(24) + 1
+		cfgs = append(cfgs, cfg{p, k, r.Int63n(3 * k), r.Int63n(2*p*k) + 1})
+	}
+	check := func() {
+		for _, c := range cfgs {
+			ts, err := Tables(c.p, c.k, c.l, c.s)
+			if err != nil {
+				t.Fatalf("Tables(%+v): %v", c, err)
+			}
+			for m := int64(0); m < c.p; m++ {
+				got, err := ts.Sequence(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := core.Lattice(core.Problem{P: c.p, K: c.k, L: c.l, S: c.s, M: m})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Start != want.Start || !reflect.DeepEqual(got.Gaps, want.Gaps) {
+					t.Fatalf("cfg %+v m=%d: cached %v != uncached %v", c, m, got, want)
+				}
+			}
+		}
+	}
+	check()
+	before := TableStats()
+	check() // warm pass
+	after := TableStats()
+	if misses := after.Misses - before.Misses; misses != 0 {
+		t.Fatalf("warm pass performed %d table constructions, want 0", misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("warm pass recorded no hits")
+	}
+}
+
+// TestTablesConcurrent exercises the shared table cache from many
+// goroutines (run with -race): all returned TableSets must agree with
+// the uncached algorithm.
+func TestTablesConcurrent(t *testing.T) {
+	ResetTables()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				p := r.Int63n(6) + 1
+				k := r.Int63n(10) + 1
+				s := r.Int63n(2*p*k) + 1
+				ts, err := Tables(p, k, 0, s)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				m := r.Int63n(p)
+				got, err := ts.Sequence(m)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want, _ := core.Lattice(core.Problem{P: p, K: k, S: s, M: m})
+				if !reflect.DeepEqual(got.Gaps, want.Gaps) {
+					t.Errorf("p=%d k=%d s=%d m=%d: %v != %v", p, k, s, m, got.Gaps, want.Gaps)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

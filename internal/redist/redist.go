@@ -39,19 +39,37 @@ func Redistribute(m *machine.Machine, src *hpf.Array, target dist.Layout) (*hpf.
 	return dst, nil
 }
 
+// RedistributeInto copies src into an existing destination array,
+// avoiding the per-call array allocation of Redistribute. Phase-based
+// solvers that bounce an array between two layouts every iteration keep
+// both arrays alive and alternate; the communication schedule comes from
+// the plan cache, so the steady state does no planning and no
+// allocation beyond pooled message buffers.
+func RedistributeInto(m *machine.Machine, dst, src *hpf.Array) error {
+	if dst.N() != src.N() {
+		return fmt.Errorf("redist: destination size %d != source size %d", dst.N(), src.N())
+	}
+	if src.N() == 0 {
+		return nil
+	}
+	whole := section.Section{Lo: 0, Hi: src.N() - 1, Stride: 1}
+	return comm.Copy(m, dst, whole, src, whole)
+}
+
 // Plan precomputes the communication schedule of a redistribution without
 // executing it, for cost inspection (e.g. choosing k' to minimize data
-// motion).
+// motion). The schedule is memoized in the shared plan cache: repeated
+// redistributions between the same pair of layouts plan once.
 func Plan(src dist.Layout, n int64, target dist.Layout) (*comm.Plan, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("redist: negative array size %d", n)
 	}
 	if n == 0 {
-		return comm.NewPlan(target, 0, section.Section{Lo: 0, Hi: -1, Stride: 1},
+		return comm.CachedPlan(target, 0, section.Section{Lo: 0, Hi: -1, Stride: 1},
 			src, 0, section.Section{Lo: 0, Hi: -1, Stride: 1})
 	}
 	whole := section.Section{Lo: 0, Hi: n - 1, Stride: 1}
-	return comm.NewPlan(target, n, whole, src, n, whole)
+	return comm.CachedPlan(target, n, whole, src, n, whole)
 }
 
 // StayVolume returns how many elements keep their owner under the plan —

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/hpf"
 	"repro/internal/machine"
@@ -116,5 +117,51 @@ func TestPlanNegativeSize(t *testing.T) {
 	}
 	if plan, err := Plan(l, 0, l); err != nil || plan.TotalVolume() != 0 {
 		t.Errorf("zero size plan: %v", err)
+	}
+}
+
+func TestRedistributeIntoRoundTrip(t *testing.T) {
+	comm.ResetPlanCache()
+	srcL := dist.MustNew(4, 8)
+	dstL := dist.MustNew(3, 5)
+	a := hpf.MustNewArray(srcL, 200)
+	b := hpf.MustNewArray(dstL, 200)
+	for i := int64(0); i < 200; i++ {
+		a.Set(i, float64(3*i+1))
+	}
+	want := a.Gather()
+	m := machine.MustNew(4)
+	// Bounce the array between layouts several times; after the first
+	// round trip both directions' plans are cached.
+	for round := 0; round < 5; round++ {
+		if err := RedistributeInto(m, b, a); err != nil {
+			t.Fatal(err)
+		}
+		a.FillAll(0)
+		if err := RedistributeInto(m, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			warm := comm.PlanCacheStats()
+			if warm.Misses < 2 {
+				t.Fatalf("expected >= 2 plan constructions on first round, got %d", warm.Misses)
+			}
+		}
+	}
+	steady := comm.PlanCacheStats()
+	if steady.Misses != 2 {
+		t.Fatalf("redistribution bounce planned %d times total, want 2", steady.Misses)
+	}
+	if !reflect.DeepEqual(a.Gather(), want) {
+		t.Error("RedistributeInto round trips changed contents")
+	}
+}
+
+func TestRedistributeIntoSizeMismatch(t *testing.T) {
+	m := machine.MustNew(2)
+	a := hpf.MustNewArray(dist.MustNew(2, 2), 10)
+	b := hpf.MustNewArray(dist.MustNew(2, 2), 12)
+	if err := RedistributeInto(m, b, a); err == nil {
+		t.Fatal("expected size-mismatch error")
 	}
 }
