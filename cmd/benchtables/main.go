@@ -17,26 +17,33 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate Table 1 or 2")
-		figure   = flag.Int("figure", 0, "regenerate Figure 7")
-		cache    = flag.Bool("cache", false, "run the plan-cache cold/warm families")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		procs    = flag.Int64("p", 32, "processor count (the paper uses 32)")
-		reps     = flag.Int("reps", 5, "measurement repetitions (min of maxima kept)")
-		elems    = flag.Int64("elems", 10000, "assignments per processor for Table 2")
-		jsonPath = flag.String("json", "", "write machine-readable results to this file")
+		table     = flag.Int("table", 0, "regenerate Table 1 or 2")
+		figure    = flag.Int("figure", 0, "regenerate Figure 7")
+		cache     = flag.Bool("cache", false, "run the plan-cache cold/warm families")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		procs     = flag.Int64("p", 32, "processor count (the paper uses 32)")
+		reps      = flag.Int("reps", 5, "measurement repetitions (min of maxima kept)")
+		elems     = flag.Int64("elems", 10000, "assignments per processor for Table 2")
+		jsonPath  = flag.String("json", "", "write machine-readable results to this file")
+		trace     = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		metrics   = flag.Bool("metrics", false, "dump the telemetry registry as telemetry/v1 JSON after the run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	cfg := config{
 		Table: *table, Figure: *figure, Cache: *cache, All: *all,
 		Procs: *procs, Reps: *reps, Elems: *elems, JSONPath: *jsonPath,
+		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprofAddr,
 	}
 	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -51,6 +58,9 @@ type config struct {
 	Reps          int
 	Elems         int64
 	JSONPath      string
+	TracePath     string
+	Metrics       bool
+	PprofAddr     string
 }
 
 // report is the -json output document. Schema: see README.md
@@ -62,6 +72,10 @@ type report struct {
 	Figure7 []reportRow       `json:"figure7,omitempty"`
 	Table2  []reportTable2Row `json:"table2,omitempty"`
 	Cache   []reportCacheRow  `json:"cache,omitempty"`
+	// Telemetry is the process-wide registry snapshot taken after the
+	// runs (schema telemetry/v1): cache hit rates, message counts and
+	// comm volumes ride along with the timings.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 type reportConfig struct {
@@ -123,6 +137,17 @@ func run(table, figure int, all bool, procs int64, reps int, elems int64) error 
 }
 
 func runConfig(cfg config) error {
+	if cfg.PprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtables: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "benchtables: pprof on http://%s/debug/pprof/\n", cfg.PprofAddr)
+	}
+	if cfg.TracePath != "" {
+		telemetry.StartTracing(int(cfg.Procs), 1<<14)
+	}
 	rep := report{
 		Schema: "benchtables/v1",
 		Config: reportConfig{Procs: cfg.Procs, Reps: cfg.Reps, Elems: cfg.Elems},
@@ -190,7 +215,25 @@ func runConfig(cfg config) error {
 	if !did {
 		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache or -all")
 	}
+	if cfg.TracePath != "" {
+		if t := telemetry.StopTracing(); t != nil {
+			f, err := os.Create(cfg.TracePath)
+			if err != nil {
+				return err
+			}
+			if err := t.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", cfg.TracePath)
+		}
+	}
 	if cfg.JSONPath != "" {
+		snap := telemetry.Default().Snapshot()
+		rep.Telemetry = &snap
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
@@ -200,6 +243,12 @@ func runConfig(cfg config) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", cfg.JSONPath)
+	}
+	if cfg.Metrics {
+		fmt.Printf("\ntelemetry registry (%s):\n", telemetry.Schema)
+		if err := telemetry.Default().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

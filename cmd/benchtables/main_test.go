@@ -61,4 +61,17 @@ func TestRunCacheWithJSON(t *testing.T) {
 	if rep.Config.Procs != 2 {
 		t.Errorf("config procs = %d", rep.Config.Procs)
 	}
+	// The telemetry snapshot rides along with every -json report.
+	if rep.Telemetry == nil {
+		t.Fatal("report has no telemetry snapshot")
+	}
+	if rep.Telemetry.Schema != "telemetry/v1" {
+		t.Errorf("telemetry schema = %q, want telemetry/v1", rep.Telemetry.Schema)
+	}
+	// The benchmarks reset the global caches between families, so the
+	// values may be zero here — what matters is that each registered
+	// cache publishes its gauges into the snapshot.
+	if _, ok := rep.Telemetry.Gauges["plancache.core.tables.hits"]; !ok {
+		t.Error("telemetry snapshot missing plancache.core.tables.hits gauge")
+	}
 }

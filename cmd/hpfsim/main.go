@@ -6,11 +6,16 @@
 // sequential reference.
 //
 //	hpfsim -p 4 -k 8 -n 320
+//	hpfsim -trace trace.json      # per-rank Chrome trace (chrome://tracing, Perfetto)
+//	hpfsim -metrics               # dump the telemetry registry (telemetry/v1 JSON)
+//	hpfsim -pprof localhost:6060  # serve net/http/pprof during the run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"repro/internal/comm"
@@ -19,20 +24,79 @@ import (
 	"repro/internal/machine"
 	"repro/internal/redist"
 	"repro/internal/section"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		p  = flag.Int64("p", 4, "number of processors")
-		k  = flag.Int64("k", 8, "block size")
-		k2 = flag.Int64("k2", 5, "block size of the second distribution")
-		n  = flag.Int64("n", 320, "array size")
+		p       = flag.Int64("p", 4, "number of processors")
+		k       = flag.Int64("k", 8, "block size")
+		k2      = flag.Int64("k2", 5, "block size of the second distribution")
+		n       = flag.Int64("n", 320, "array size")
+		trace   = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		metrics = flag.Bool("metrics", false, "dump the telemetry registry as telemetry/v1 JSON after the run")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	if err := run(*p, *k, *k2, *n); err != nil {
+	cfg := config{P: *p, K: *k, K2: *k2, N: *n,
+		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof}
+	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hpfsim:", err)
 		os.Exit(1)
 	}
+}
+
+type config struct {
+	P, K, K2, N int64
+	TracePath   string
+	Metrics     bool
+	PprofAddr   string
+}
+
+// traceCapacity retains plenty of events per rank for the demo workload
+// while bounding memory for long runs.
+const traceCapacity = 1 << 14
+
+func runConfig(cfg config) error {
+	if cfg.PprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hpfsim: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", cfg.PprofAddr)
+	}
+	if cfg.TracePath != "" {
+		telemetry.StartTracing(int(cfg.P), traceCapacity)
+	}
+	runErr := run(cfg.P, cfg.K, cfg.K2, cfg.N)
+	if cfg.TracePath != "" {
+		if t := telemetry.StopTracing(); t != nil && runErr == nil {
+			f, err := os.Create(cfg.TracePath)
+			if err != nil {
+				return err
+			}
+			if err := t.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("\ntrace: wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", cfg.TracePath)
+			fmt.Printf("\nper-rank event summary:\n")
+			if err := t.WriteSummary(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.Metrics && runErr == nil {
+		fmt.Printf("\ntelemetry registry (%s):\n", telemetry.Schema)
+		if err := telemetry.Default().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return runErr
 }
 
 func run(p, k, k2, n int64) error {
@@ -100,9 +164,12 @@ func run(p, k, k2, n int64) error {
 		return fmt.Errorf("redistribution corrupted data")
 	}
 
-	// Max reduction across the machine for good measure.
+	// Max reduction across the machine for good measure. The barrier
+	// aligns every rank's timeline before the timed collective, and shows
+	// up as one barrier event per rank in traces.
 	var maxes []float64
 	m.Run(func(proc *machine.Proc) {
+		proc.Barrier()
 		localMax := 0.0
 		for _, v := range a.LocalMem(int64(proc.Rank())) {
 			if v > localMax {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunDefault(t *testing.T) {
 	if err := run(4, 8, 5, 320); err != nil {
@@ -14,6 +19,58 @@ func TestRunOtherShapes(t *testing.T) {
 	}
 	if err := run(1, 2, 3, 40); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceOutput runs the demo with tracing enabled and checks the
+// acceptance criterion directly: the Chrome trace parses as JSON and
+// contains at least p distinct rank timelines, each with send, recv and
+// barrier events.
+func TestTraceOutput(t *testing.T) {
+	const p = 4
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := runConfig(config{P: p, K: 8, K2: 5, N: 320, TracePath: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+			Tid int64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// kinds[tid] records which event categories appeared on that timeline.
+	kinds := make(map[int64]map[string]bool)
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if kinds[e.Tid] == nil {
+			kinds[e.Tid] = make(map[string]bool)
+		}
+		kinds[e.Tid][e.Cat] = true
+	}
+	ranks := 0
+	for tid, cats := range kinds {
+		if tid < 0 || tid >= p {
+			continue // host timeline
+		}
+		ranks++
+		for _, want := range []string{"send", "recv", "barrier"} {
+			if !cats[want] {
+				t.Errorf("rank %d timeline missing %s events (has %v)", tid, want, cats)
+			}
+		}
+	}
+	if ranks < p {
+		t.Errorf("trace has %d rank timelines, want at least %d", ranks, p)
 	}
 }
 

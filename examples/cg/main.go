@@ -21,14 +21,15 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/halo"
 	"repro/internal/hpf"
 	"repro/internal/machine"
-	"repro/internal/plancache"
 	"repro/internal/section"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -161,23 +162,17 @@ func main() {
 	fmt.Printf("CG on %d unknowns over %v\n", n, layout)
 	fmt.Printf("converged in %d iterations, ||r|| = %.2e\n", iters, math.Sqrt(rr))
 	fmt.Printf("max |x - x*| = %.2e\n", worst)
-	fmt.Printf("communication: %d messages, %d values exchanged\n",
-		stats.MessagesSent, stats.ValuesSent)
+	fmt.Printf("communication: %d messages sent / %d received, %d values exchanged\n",
+		stats.MessagesSent, stats.MessagesReceived, stats.ValuesSent)
 	if worst > 1e-8 {
 		log.Fatal("CG failed to recover the solution")
 	}
 	fmt.Println("verified: distributed CG recovers the manufactured solution")
 
-	fmt.Printf("\nplan cache statistics for this run:\n")
-	for _, c := range []struct {
-		name string
-		st   plancache.Stats
-	}{
-		{"comm plans", comm.PlanCacheStats()},
-		{"section plans", hpf.SectionPlanCacheStats()},
-		{"AM tables", plancache.TableStats()},
-	} {
-		fmt.Printf("  %-14s %4d built, %7d hits (%.2f%% hit rate)\n",
-			c.name, c.st.Misses, c.st.Hits, 100*c.st.HitRate())
+	// The registry aggregates every plan cache's counters and the
+	// machine's traffic histograms — no hand-rolled reporting.
+	fmt.Printf("\ntelemetry registry for this run:\n")
+	if err := telemetry.Default().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

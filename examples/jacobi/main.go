@@ -20,13 +20,14 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/hpf"
 	"repro/internal/machine"
-	"repro/internal/plancache"
 	"repro/internal/section"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -101,21 +102,11 @@ func main() {
 	fmt.Println("verified: distributed Jacobi tracks the sequential solver and converges")
 
 	// Every sweep issues the same three array assignments; the runtime
-	// plans them once and then serves sweeps 2..N from the caches.
-	printCacheStats()
-}
-
-func printCacheStats() {
-	fmt.Printf("\nplan cache statistics for this run:\n")
-	for _, c := range []struct {
-		name string
-		st   plancache.Stats
-	}{
-		{"comm plans", comm.PlanCacheStats()},
-		{"section plans", hpf.SectionPlanCacheStats()},
-		{"AM tables", plancache.TableStats()},
-	} {
-		fmt.Printf("  %-14s %4d built, %7d hits (%.2f%% hit rate)\n",
-			c.name, c.st.Misses, c.st.Hits, 100*c.st.HitRate())
+	// plans them once and then serves sweeps 2..N from the caches. The
+	// telemetry registry carries every cache's counters (registered by
+	// the runtime packages) plus the machine's traffic totals.
+	fmt.Printf("\ntelemetry registry for this run:\n")
+	if err := telemetry.Default().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

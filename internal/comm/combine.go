@@ -6,6 +6,7 @@ import (
 	"repro/internal/hpf"
 	"repro/internal/machine"
 	"repro/internal/section"
+	"repro/internal/telemetry"
 )
 
 // BinOp combines the destination's current value with an incoming value.
@@ -30,6 +31,11 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 	const tag = "comm.combine"
 	e := p.execFor(src.Layout(), dst.Layout())
 	m.Run(func(proc *machine.Proc) {
+		tr := telemetry.ActiveTracer()
+		var t0 int64
+		if tr != nil {
+			t0 = tr.Now()
+		}
 		me := int64(proc.Rank())
 		if me < p.NSrc {
 			mem := src.LocalMem(me)
@@ -56,6 +62,9 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 				}
 				machine.PutBuf(msg.Data)
 			}
+		}
+		if tr != nil {
+			tr.EndSpan(int32(proc.Rank()), "comm.execute_with", t0)
 		}
 	})
 	return nil

@@ -23,6 +23,7 @@ import (
 	"repro/internal/intmath"
 	"repro/internal/machine"
 	"repro/internal/section"
+	"repro/internal/telemetry"
 )
 
 // Plan is the full communication schedule of one array assignment:
@@ -117,6 +118,9 @@ func OwnedPositions(l dist.Layout, sec section.Section, m, n int64) []section.Se
 // arrays' bounds.
 func NewPlan(dstLayout dist.Layout, dstN int64, dstSec section.Section,
 	srcLayout dist.Layout, srcN int64, srcSec section.Section) (*Plan, error) {
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		defer tr.EndSpan(telemetry.HostRank, "comm.plan", tr.Now())
+	}
 	n := dstSec.Count()
 	if sn := srcSec.Count(); sn != n {
 		return nil, fmt.Errorf("comm: section size mismatch: dst %v has %d elements, src %v has %d",
@@ -211,6 +215,11 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 	const tag = "comm.copy"
 	e := p.execFor(src.Layout(), dst.Layout())
 	m.Run(func(proc *machine.Proc) {
+		tr := telemetry.ActiveTracer()
+		var t0 int64
+		if tr != nil {
+			t0 = tr.Now()
+		}
 		me := int64(proc.Rank())
 		// Pack and send (or keep) every outgoing transfer. Buffers come
 		// from the machine's pool; ownership transfers with the message
@@ -243,6 +252,9 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 				}
 				machine.PutBuf(msg.Data)
 			}
+		}
+		if tr != nil {
+			tr.EndSpan(int32(proc.Rank()), "comm.execute", t0)
 		}
 	})
 	return nil

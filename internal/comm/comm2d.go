@@ -7,6 +7,7 @@ import (
 	"repro/internal/hpf"
 	"repro/internal/machine"
 	"repro/internal/section"
+	"repro/internal/telemetry"
 )
 
 // Plan2D is the communication schedule of a two-dimensional array
@@ -45,6 +46,9 @@ type Plan2D struct {
 func NewPlan2D(dstGrid *dist.Grid, dstExt []int64, dstRect section.Rect,
 	srcGrid *dist.Grid, srcExt []int64, srcRect section.Rect,
 	perm [2]int) (*Plan2D, error) {
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		defer tr.EndSpan(telemetry.HostRank, "comm.plan2d", tr.Now())
+	}
 	if dstGrid.Rank() != 2 || srcGrid.Rank() != 2 ||
 		dstRect.Rank() != 2 || srcRect.Rank() != 2 ||
 		len(dstExt) != 2 || len(srcExt) != 2 {
@@ -136,6 +140,11 @@ func (p *Plan2D) Execute(m *machine.Machine, dst, src *hpf.Array2D) error {
 	}
 	const tag = "comm.copy2d"
 	m.Run(func(proc *machine.Proc) {
+		tr := telemetry.ActiveTracer()
+		var t0span int64
+		if tr != nil {
+			t0span = tr.Now()
+		}
 		me := int64(proc.Rank())
 		// Send: this processor as source grid member.
 		if me < p.SrcGrid.Procs() {
@@ -191,6 +200,9 @@ func (p *Plan2D) Execute(m *machine.Machine, dst, src *hpf.Array2D) error {
 				}
 				machine.PutBuf(msg.Data)
 			}
+		}
+		if tr != nil {
+			tr.EndSpan(int32(proc.Rank()), "comm.execute2d", t0span)
 		}
 	})
 	return nil

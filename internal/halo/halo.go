@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/hpf"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 )
 
 // Halo holds the exchanged ghost cells of one array: for each processor
@@ -85,6 +86,9 @@ func Exchange(m *machine.Machine, a *hpf.Array, w int64, pad float64) (*Halo, er
 		me := int64(proc.Rank())
 		if me >= p {
 			return
+		}
+		if tr := telemetry.ActiveTracer(); tr != nil {
+			defer tr.EndSpan(int32(me), "halo.exchange", tr.Now())
 		}
 		mem := a.LocalMem(me)
 		leftNbr := int((me - 1 + p) % p)

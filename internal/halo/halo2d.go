@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hpf"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 )
 
 // Halo2D holds width-1 ghost borders for a block-scattered 2-D array:
@@ -100,6 +101,9 @@ func Exchange2D(m *machine.Machine, a *hpf.Array2D, pad float64) (*Halo2D, error
 		me := int64(proc.Rank())
 		if me >= nprocs {
 			return
+		}
+		if tr := telemetry.ActiveTracer(); tr != nil {
+			defer tr.EndSpan(int32(me), "halo.exchange2d", tr.Now())
 		}
 		coords := g.Coords(me)
 		c0, c1 := coords[0], coords[1]

@@ -20,6 +20,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/section"
+	"repro/internal/telemetry"
+)
+
+// Section-op counters live in the process-wide registry so metric dumps
+// show how often each node-loop entry point ran; when a tracer is
+// active the ops also appear as host-timeline spans. Both are free of
+// allocation, keeping the warm section path at 0 allocs/op.
+var (
+	telFillOps = telemetry.Default().Counter("hpf.fill_section_ops")
+	telMapOps  = telemetry.Default().Counter("hpf.map_section_ops")
+	telSumOps  = telemetry.Default().Counter("hpf.sum_section_ops")
 )
 
 // Array is a one-dimensional distributed array of float64.
@@ -151,6 +162,10 @@ func (a *Array) planSection(sec section.Section, m int64) (sectionPlan, error) {
 // The per-processor plans come from the section-plan cache, so repeated
 // assignments to the same section build no tables after the first.
 func (a *Array) FillSection(sec section.Section, v float64) error {
+	telFillOps.Inc()
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		defer tr.EndSpan(telemetry.HostRank, "hpf.fill_section", tr.Now())
+	}
 	sp, err := a.cachedSectionPlans(sec)
 	if err != nil || sp == nil {
 		return err
@@ -171,6 +186,10 @@ func (a *Array) FillSection(sec section.Section, v float64) error {
 // MapSection applies f to every element of A(sec) in place:
 // A(sec) = f(A(sec)). Order independent; plans are cached.
 func (a *Array) MapSection(sec section.Section, f func(float64) float64) error {
+	telMapOps.Inc()
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		defer tr.EndSpan(telemetry.HostRank, "hpf.map_section", tr.Now())
+	}
 	sp, err := a.cachedSectionPlans(sec)
 	if err != nil || sp == nil {
 		return err
@@ -197,6 +216,10 @@ func (a *Array) MapSection(sec section.Section, f func(float64) float64) error {
 // SumSection returns the sum over A(sec), computed per processor through
 // the access sequence and combined. Plans are cached.
 func (a *Array) SumSection(sec section.Section) (float64, error) {
+	telSumOps.Inc()
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		defer tr.EndSpan(telemetry.HostRank, "hpf.sum_section", tr.Now())
+	}
 	var total float64
 	sp, err := a.cachedSectionPlans(sec)
 	if err != nil || sp == nil {

@@ -38,6 +38,8 @@ type sectionPlans struct {
 
 var sectionPlanCache = plancache.New[sectionKey, *sectionPlans](512, hashSectionKey)
 
+func init() { sectionPlanCache.Register("hpf.section_plans") }
+
 // SectionPlanCacheStats snapshots the section-plan cache counters;
 // Misses equal the number of full per-array plan constructions.
 func SectionPlanCacheStats() plancache.Stats { return sectionPlanCache.Stats() }

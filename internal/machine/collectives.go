@@ -1,5 +1,7 @@
 package machine
 
+import "repro/internal/telemetry"
+
 // This file implements collective operations on top of point-to-point
 // messaging. All collectives must be called by every processor of the
 // machine (SPMD), like their MPI counterparts. The implementations use a
@@ -21,62 +23,96 @@ func Max(a, b float64) float64 {
 	return b
 }
 
+// collectiveSpan marks the start of a collective on p's timeline when a
+// tracer is active; endCollectiveSpan records it. Kept as a begin/end
+// pair (not a defer closure) so the disabled path costs one atomic load.
+func (p *Proc) collectiveSpan() (*telemetry.Tracer, int64) {
+	tr := telemetry.ActiveTracer()
+	if tr == nil {
+		return nil, 0
+	}
+	return tr, tr.Now()
+}
+
+func (p *Proc) endCollectiveSpan(tr *telemetry.Tracer, name string, start int64) {
+	if tr == nil {
+		return
+	}
+	tr.Record(telemetry.Event{
+		Kind: telemetry.KindReduce, Name: name, Rank: int32(p.rank),
+		Peer: -1, Start: start, Dur: tr.Now() - start,
+	})
+}
+
 // Reduce combines one value per processor with op and returns the result
 // on root (other processors receive 0). Every processor must call it.
 func (p *Proc) Reduce(value float64, op ReduceOp, root int) float64 {
 	const tag = "__reduce"
+	tr, t0 := p.collectiveSpan()
+	var acc float64
 	if p.rank != root {
 		p.Send(root, tag, []float64{value}, nil)
-		return 0
-	}
-	acc := value
-	for r := 0; r < p.m.nprocs; r++ {
-		if r == root {
-			continue
+	} else {
+		acc = value
+		for r := 0; r < p.m.nprocs; r++ {
+			if r == root {
+				continue
+			}
+			msg := p.Recv(r, tag)
+			acc = op(acc, msg.Data[0])
 		}
-		msg := p.Recv(r, tag)
-		acc = op(acc, msg.Data[0])
 	}
+	p.endCollectiveSpan(tr, "reduce", t0)
 	return acc
 }
 
 // AllReduce is Reduce followed by a broadcast: every processor receives
 // the combined value.
 func (p *Proc) AllReduce(value float64, op ReduceOp) float64 {
+	tr, t0 := p.collectiveSpan()
 	acc := p.Reduce(value, op, 0)
-	return p.Bcast(acc, 0)
+	out := p.Bcast(acc, 0)
+	p.endCollectiveSpan(tr, "allreduce", t0)
+	return out
 }
 
 // Bcast distributes root's value to every processor and returns it.
 func (p *Proc) Bcast(value float64, root int) float64 {
 	const tag = "__bcast"
+	tr, t0 := p.collectiveSpan()
+	out := value
 	if p.rank == root {
 		for r := 0; r < p.m.nprocs; r++ {
 			if r != root {
 				p.Send(r, tag, []float64{value}, nil)
 			}
 		}
-		return value
+	} else {
+		out = p.Recv(root, tag).Data[0]
 	}
-	return p.Recv(root, tag).Data[0]
+	p.endCollectiveSpan(tr, "bcast", t0)
+	return out
 }
 
 // GatherSlices collects one slice per processor on root, indexed by rank.
 // Non-root processors receive nil. Every processor must call it.
 func (p *Proc) GatherSlices(local []float64, root int) [][]float64 {
 	const tag = "__gather"
+	tr, t0 := p.collectiveSpan()
+	var out [][]float64
 	if p.rank != root {
 		p.Send(root, tag, local, nil)
-		return nil
-	}
-	out := make([][]float64, p.m.nprocs)
-	out[root] = local
-	for r := 0; r < p.m.nprocs; r++ {
-		if r == root {
-			continue
+	} else {
+		out = make([][]float64, p.m.nprocs)
+		out[root] = local
+		for r := 0; r < p.m.nprocs; r++ {
+			if r == root {
+				continue
+			}
+			out[r] = p.Recv(r, tag).Data
 		}
-		out[r] = p.Recv(r, tag).Data
 	}
+	p.endCollectiveSpan(tr, "gather", t0)
 	return out
 }
 
@@ -88,6 +124,7 @@ func (p *Proc) AllToAll(send [][]float64) [][]float64 {
 	if len(send) != p.m.nprocs {
 		panic("machine: AllToAll send slice count must equal NProcs")
 	}
+	tr, t0 := p.collectiveSpan()
 	recv := make([][]float64, p.m.nprocs)
 	recv[p.rank] = send[p.rank]
 	for r := 0; r < p.m.nprocs; r++ {
@@ -100,5 +137,6 @@ func (p *Proc) AllToAll(send [][]float64) [][]float64 {
 			recv[r] = p.Recv(r, tag).Data
 		}
 	}
+	p.endCollectiveSpan(tr, "alltoall", t0)
 	return recv
 }

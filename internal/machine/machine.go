@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Message is a tagged point-to-point message. Payloads carry float64
@@ -194,8 +196,17 @@ func (p *Proc) Send(to int, tag string, data []float64, ints []int64) {
 	if to < 0 || to >= p.m.nprocs {
 		panic(fmt.Sprintf("machine: send to invalid rank %d", to))
 	}
-	p.stats.messages.Add(1)
-	p.stats.values.Add(int64(len(data)))
+	p.stats.messagesSent.Add(1)
+	p.stats.valuesSent.Add(int64(len(data)))
+	telMessagesSent.Inc()
+	telValuesSent.Add(int64(len(data)))
+	telSendBytes.Observe(int64(len(data)) * 8)
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		tr.Record(telemetry.Event{
+			Kind: telemetry.KindSend, Name: tag, Rank: int32(p.rank),
+			Peer: int32(to), Bytes: int64(len(data)) * 8, Start: tr.Now(),
+		})
+	}
 	p.m.progress.Add(1)
 	dst := p.m.procs[to]
 	dst.mu.Lock()
@@ -210,12 +221,14 @@ func (p *Proc) Send(to int, tag string, data []float64, ints []int64) {
 // returns it. Messages from the same sender with the same tag are
 // delivered in send order.
 func (p *Proc) Recv(from int, tag string) Message {
+	start := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		for i, msg := range p.mailbox {
 			if msg.From == from && msg.Tag == tag {
 				p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+				p.recorded(msg, start)
 				return msg
 			}
 		}
@@ -231,12 +244,14 @@ func (p *Proc) Recv(from int, tag string) Message {
 
 // RecvAny blocks until any message with the given tag arrives.
 func (p *Proc) RecvAny(tag string) Message {
+	start := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		for i, msg := range p.mailbox {
 			if msg.Tag == tag {
 				p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+				p.recorded(msg, start)
 				return msg
 			}
 		}
@@ -250,9 +265,38 @@ func (p *Proc) RecvAny(tag string) Message {
 	}
 }
 
+// recorded accounts one delivered message on the receive side: the
+// per-processor counters, the process-wide telemetry, and — when a
+// tracer is active — a recv event whose duration is the time this
+// processor spent blocked since entering Recv.
+func (p *Proc) recorded(msg Message, start time.Time) {
+	wait := time.Since(start).Nanoseconds()
+	p.stats.messagesRecv.Add(1)
+	p.stats.valuesRecv.Add(int64(len(msg.Data)))
+	telMessagesRecv.Inc()
+	telValuesRecv.Add(int64(len(msg.Data)))
+	telRecvWaitNs.Observe(wait)
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		tr.Record(telemetry.Event{
+			Kind: telemetry.KindRecv, Name: msg.Tag, Rank: int32(p.rank),
+			Peer: int32(msg.From), Bytes: int64(len(msg.Data)) * 8,
+			Start: tr.Now() - wait, Dur: wait,
+		})
+	}
+}
+
 // Barrier blocks until every processor has reached it.
 func (p *Proc) Barrier() {
+	start := time.Now()
 	p.m.barrier.await()
+	wait := time.Since(start).Nanoseconds()
+	telBarrierNs.Observe(wait)
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		tr.Record(telemetry.Event{
+			Kind: telemetry.KindBarrier, Name: "barrier", Rank: int32(p.rank),
+			Peer: -1, Start: tr.Now() - wait, Dur: wait,
+		})
+	}
 }
 
 func (p *Proc) poison() {

@@ -286,16 +286,51 @@ func TestStatsCounting(t *testing.T) {
 	if s0.MessagesSent != 2 || s0.ValuesSent != 4 {
 		t.Errorf("proc 0 stats = %+v, want 2 msgs / 4 values", s0)
 	}
+	if s0.MessagesReceived != 0 || s0.ValuesReceived != 0 {
+		t.Errorf("proc 0 received nothing but stats = %+v", s0)
+	}
 	if s := m.Stats(1); s.MessagesSent != 0 {
 		t.Errorf("proc 1 sent nothing but stats = %+v", s)
+	}
+	if s := m.Stats(1); s.MessagesReceived != 1 || s.ValuesReceived != 3 {
+		t.Errorf("proc 1 recv stats = %+v, want 1 msg / 3 values", s)
+	}
+	if s := m.Stats(2); s.MessagesReceived != 1 || s.ValuesReceived != 1 {
+		t.Errorf("proc 2 recv stats = %+v, want 1 msg / 1 value", s)
 	}
 	total := m.TotalStats()
 	if total.MessagesSent != 2 || total.ValuesSent != 4 {
 		t.Errorf("total = %+v", total)
 	}
+	if total.MessagesReceived != 2 || total.ValuesReceived != 4 {
+		t.Errorf("total recv = %+v, want 2 msgs / 4 values received", total)
+	}
 	m.ResetStats()
-	if s := m.TotalStats(); s.MessagesSent != 0 || s.ValuesSent != 0 {
+	if s := m.TotalStats(); s != (Stats{}) {
 		t.Errorf("after reset: %+v", s)
+	}
+}
+
+// TestStatsReceiveViaRecvAny covers the receive-side counters on the
+// RecvAny path, where the sender is not known in advance.
+func TestStatsReceiveViaRecvAny(t *testing.T) {
+	m := MustNew(3)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < 2; i++ {
+				p.RecvAny("any")
+			}
+		} else {
+			p.Send(0, "any", []float64{1, 2, 3, 4, 5}, nil)
+		}
+	})
+	s0 := m.Stats(0)
+	if s0.MessagesReceived != 2 || s0.ValuesReceived != 10 {
+		t.Errorf("RecvAny stats = %+v, want 2 msgs / 10 values", s0)
+	}
+	total := m.TotalStats()
+	if total.MessagesSent != total.MessagesReceived || total.ValuesSent != total.ValuesReceived {
+		t.Errorf("send/receive totals disagree: %+v", total)
 	}
 }
 

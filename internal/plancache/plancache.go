@@ -21,7 +21,12 @@
 // observable (examples and benchtables report them).
 package plancache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
 
 // numShards is the fixed shard count. Shard selection is hash-based, so
 // a small power of two suffices to decorrelate concurrent access
@@ -62,7 +67,11 @@ type shard[K comparable, V any] struct {
 	entries    map[K]*node[K, V]
 	head, tail *node[K, V]
 
-	hits, misses, evictions int64
+	// Counters are atomics so Stats and Snapshot read them without the
+	// shard mutex: no torn reads under the race detector, and snapshots
+	// never contend with the lookup path.
+	hits, misses, evictions atomic.Int64
+	entryCount              atomic.Int64
 }
 
 // New returns a cache holding at most capacity entries in total,
@@ -92,11 +101,11 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n, ok := s.entries[k]; ok {
-		s.hits++
+		s.hits.Add(1)
 		s.touch(n)
 		return n.val, true
 	}
-	s.misses++
+	s.misses.Add(1)
 	var zero V
 	return zero, false
 }
@@ -140,19 +149,49 @@ func (c *Cache[K, V]) Len() int {
 	return n
 }
 
-// Stats sums the per-shard counters.
+// Stats sums the per-shard counters. Reads are atomic and lock-free;
+// concurrent lookups may land between shard reads, so the totals are a
+// consistent-enough point-in-time view, never torn values.
 func (c *Cache[K, V]) Stats() Stats {
 	var st Stats
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.mu.Lock()
-		st.Hits += s.hits
-		st.Misses += s.misses
-		st.Evictions += s.evictions
-		st.Entries += int64(len(s.entries))
-		s.mu.Unlock()
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
+		st.Entries += s.entryCount.Load()
 	}
 	return st
+}
+
+// Snapshot returns the per-shard counters, indexed by shard. Like
+// Stats, it reads atomically without taking any shard mutex.
+func (c *Cache[K, V]) Snapshot() []Stats {
+	out := make([]Stats, numShards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		out[i] = Stats{
+			Hits:      s.hits.Load(),
+			Misses:    s.misses.Load(),
+			Evictions: s.evictions.Load(),
+			Entries:   s.entryCount.Load(),
+		}
+	}
+	return out
+}
+
+// Register publishes the cache's aggregate counters as computed gauges
+// in the process-wide telemetry registry under
+// plancache.<name>.{hits,misses,evictions,entries}, so registry dumps
+// (hpfsim -metrics, benchtables -json, the examples) carry every
+// cache's hit rates without bespoke reporting code.
+func (c *Cache[K, V]) Register(name string) {
+	r := telemetry.Default()
+	prefix := "plancache." + name + "."
+	r.RegisterGaugeFunc(prefix+"hits", func() int64 { return c.Stats().Hits })
+	r.RegisterGaugeFunc(prefix+"misses", func() int64 { return c.Stats().Misses })
+	r.RegisterGaugeFunc(prefix+"evictions", func() int64 { return c.Stats().Evictions })
+	r.RegisterGaugeFunc(prefix+"entries", func() int64 { return c.Stats().Entries })
 }
 
 // Reset drops every entry and zeroes the counters.
@@ -162,7 +201,10 @@ func (c *Cache[K, V]) Reset() {
 		s.mu.Lock()
 		s.entries = make(map[K]*node[K, V])
 		s.head, s.tail = nil, nil
-		s.hits, s.misses, s.evictions = 0, 0, 0
+		s.hits.Store(0)
+		s.misses.Store(0)
+		s.evictions.Store(0)
+		s.entryCount.Store(0)
 		s.mu.Unlock()
 	}
 }
@@ -181,8 +223,9 @@ func (s *shard[K, V]) put(k K, v V) {
 		lru := s.tail
 		s.unlink(lru)
 		delete(s.entries, lru.key)
-		s.evictions++
+		s.evictions.Add(1)
 	}
+	s.entryCount.Store(int64(len(s.entries)))
 }
 
 // touch moves n to the front of the MRU list. s.mu must be held.

@@ -111,6 +111,74 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestSnapshotPerShard checks that Snapshot exposes one Stats entry per
+// shard and that the per-shard values sum to the aggregate Stats.
+func TestSnapshotPerShard(t *testing.T) {
+	c := New[int64, int64](64, intHash)
+	for k := int64(0); k < 32; k++ {
+		c.Put(k, k)
+	}
+	for k := int64(0); k < 32; k++ {
+		c.Get(k)      // hit
+		c.Get(k + 64) // miss
+	}
+	shards := c.Snapshot()
+	if len(shards) != numShards {
+		t.Fatalf("Snapshot() has %d entries, want %d", len(shards), numShards)
+	}
+	var sum Stats
+	for _, s := range shards {
+		sum.Hits += s.Hits
+		sum.Misses += s.Misses
+		sum.Evictions += s.Evictions
+		sum.Entries += s.Entries
+	}
+	if got := c.Stats(); sum != got {
+		t.Errorf("per-shard sum %+v != aggregate %+v", sum, got)
+	}
+	if sum.Hits != 32 || sum.Misses != 32 || sum.Entries != 32 {
+		t.Errorf("totals = %+v, want 32 hits / 32 misses / 32 entries", sum)
+	}
+}
+
+// TestSnapshotConcurrent reads Snapshot while writers hammer the cache;
+// under -race this proves the counters are read atomically (no torn
+// reads through the old int fields).
+func TestSnapshotConcurrent(t *testing.T) {
+	c := New[int64, int64](16, intHash)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := r.Int63n(64)
+				c.Put(k, k)
+				c.Get(r.Int63n(64))
+			}
+		}(int64(w))
+	}
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				for _, s := range c.Snapshot() {
+					if s.Hits < 0 || s.Misses < 0 || s.Entries < 0 {
+						t.Error("negative counter in snapshot")
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+}
+
 // TestConcurrentTinyCapacity hammers a tiny cache from many goroutines
 // so gets, puts and evictions interleave; run with -race. Values must
 // always equal their key (no cross-key corruption).

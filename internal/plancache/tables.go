@@ -17,6 +17,8 @@ func hashTableKey(k TableKey) uint64 {
 // iterative solvers use a handful.
 var tables = New[TableKey, *core.TableSet](256, hashTableKey)
 
+func init() { tables.Register("core.tables") }
+
 // Tables returns the memoized core.TableSet for (p, k, l, s),
 // constructing it on first use. Iteration 2..N of a solver loop finds
 // the basis vectors and the shared transition table already built — the

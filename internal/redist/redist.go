@@ -19,12 +19,16 @@ import (
 	"repro/internal/hpf"
 	"repro/internal/machine"
 	"repro/internal/section"
+	"repro/internal/telemetry"
 )
 
 // Redistribute copies src into a new array with the target layout using
 // planned all-to-all communication on the machine. The machine needs at
 // least max(src procs, target procs) processors.
 func Redistribute(m *machine.Machine, src *hpf.Array, target dist.Layout) (*hpf.Array, error) {
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		defer tr.EndSpan(telemetry.HostRank, "redist.redistribute", tr.Now())
+	}
 	dst, err := hpf.NewArray(target, src.N())
 	if err != nil {
 		return nil, err
@@ -46,6 +50,9 @@ func Redistribute(m *machine.Machine, src *hpf.Array, target dist.Layout) (*hpf.
 // the plan cache, so the steady state does no planning and no
 // allocation beyond pooled message buffers.
 func RedistributeInto(m *machine.Machine, dst, src *hpf.Array) error {
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		defer tr.EndSpan(telemetry.HostRank, "redist.redistribute_into", tr.Now())
+	}
 	if dst.N() != src.N() {
 		return fmt.Errorf("redist: destination size %d != source size %d", dst.N(), src.N())
 	}

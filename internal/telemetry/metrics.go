@@ -1,0 +1,382 @@
+// Package telemetry is the runtime's unified observability substrate:
+// a process-wide metrics registry (counters, gauges, histograms with
+// power-of-two buckets) and an SPMD event tracer that records per-rank
+// timelines exportable as Chrome trace_event JSON.
+//
+// The paper's evaluation (Section 6, Tables 1-2, Figures 7-8) is
+// entirely about measuring the address-generation runtime; this package
+// gives every layer of the stack — the simulated machine, the plan
+// caches, the communication sets, the section runtime — one consistent
+// way to report what it did and how long it took. Recording a sample is
+// allocation free and uses only atomic operations, so instrumentation
+// stays on in production paths; exporting (JSON, text, Chrome trace)
+// may allocate freely.
+//
+// Metric names are dotted lowercase paths (`machine.messages_sent`,
+// `plancache.comm.plan1d.hits`). The JSON export carries the schema tag
+// "telemetry/v1" (see README, Observability).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Schema identifies the registry's JSON export format.
+const Schema = "telemetry/v1"
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// ready to use; Add is safe for concurrent callers and never allocates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 metric. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n as the gauge's current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NumBuckets is the number of histogram buckets. Bucket 0 counts
+// observations ≤ 0; bucket i (1 ≤ i < NumBuckets) counts observations v
+// with 2^(i-1) ≤ v < 2^i, so the buckets cover the full positive int64
+// range with power-of-two boundaries — the right shape for latencies in
+// nanoseconds and message sizes in bytes.
+const NumBuckets = 64
+
+// Histogram accumulates int64 observations into power-of-two buckets.
+// The zero value is ready to use; Observe is wait-free and never
+// allocates.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketIndex returns the bucket an observation falls into.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpperBound returns the largest value counted by bucket i.
+func BucketUpperBound(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return math.MaxInt64
+	default:
+		return int64(1)<<i - 1
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) of the
+// recorded samples: the upper boundary of the bucket the quantile falls
+// into. Returns 0 when no samples have been recorded.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}
+
+// Bucket is one nonempty histogram bucket in a snapshot: Count samples
+// were ≤ Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	P50     int64    `json:"p50"`
+	P90     int64    `json:"p90"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// snapshot copies the histogram's current state. Concurrent Observe
+// calls may land between bucket reads; each read is atomic, so the
+// result is a valid (if slightly racy) histogram.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: BucketUpperBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Registry is a concurrency-safe collection of named metrics. Metric
+// handles are created on first use and live for the registry's
+// lifetime, so packages fetch them once (package vars) and record
+// through the returned pointer with no further lookups.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry every package records to.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// RegisterGaugeFunc registers a gauge whose value is computed at
+// snapshot time by calling f — the bridge for subsystems that already
+// keep their own counters (e.g. plan-cache shards). Re-registering a
+// name replaces the previous function.
+func (r *Registry) RegisterGaugeFunc(name string, f func() int64) {
+	r.mu.Lock()
+	r.gaugeFuncs[name] = f
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// marshalable as the telemetry/v1 JSON document.
+type Snapshot struct {
+	Schema     string                       `json:"schema"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every metric. Computed gauges
+// (RegisterGaugeFunc) are evaluated here.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{Schema: Schema}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 || len(r.gaugeFuncs) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+		for name, f := range r.gaugeFuncs {
+			s.Gauges[name] = f()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Reset zeroes every counter, gauge and histogram. Computed gauges are
+// left registered; they reflect external state.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// WriteJSON writes the registry snapshot as an indented telemetry/v1
+// JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteText writes a sorted plain-text summary of the registry, the
+// human-readable counterpart of WriteJSON.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	if len(s.Counters) > 0 {
+		pr("counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			pr("  %-44s %12d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		pr("gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			pr("  %-44s %12d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		pr("histograms:\n")
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Histograms[name]
+			mean := int64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			pr("  %-44s count=%d mean=%d p50≤%d p90≤%d p99≤%d\n",
+				name, h.Count, mean, h.P50, h.P90, h.P99)
+		}
+	}
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

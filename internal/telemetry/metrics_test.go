@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int // bucket index
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{16, 5},
+		{1023, 10}, {1024, 11}, {1025, 11},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// Every value must be ≤ its bucket's upper bound, and (for
+		// positive values past bucket 1) > the previous bucket's bound.
+		ub := BucketUpperBound(bucketIndex(c.v))
+		if c.v > ub {
+			t.Errorf("value %d exceeds its bucket upper bound %d", c.v, ub)
+		}
+		if idx := bucketIndex(c.v); idx > 1 && c.v <= BucketUpperBound(idx-1) {
+			t.Errorf("value %d should be in an earlier bucket than %d", c.v, idx)
+		}
+	}
+	if got := BucketUpperBound(0); got != 0 {
+		t.Errorf("BucketUpperBound(0) = %d, want 0", got)
+	}
+	if got := BucketUpperBound(3); got != 7 {
+		t.Errorf("BucketUpperBound(3) = %d, want 7", got)
+	}
+	if got := BucketUpperBound(NumBuckets - 1); got != math.MaxInt64 {
+		t.Errorf("BucketUpperBound(last) = %d, want MaxInt64", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %d, want 0", got)
+	}
+	// 90 samples of 5 (bucket ub 7) and 10 samples of 1000 (bucket ub 1023).
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 7 {
+		t.Errorf("p50 = %d, want 7", got)
+	}
+	if got := h.Quantile(0.90); got != 7 {
+		t.Errorf("p90 = %d, want 7", got)
+	}
+	if got := h.Quantile(0.99); got != 1023 {
+		t.Errorf("p99 = %d, want 1023", got)
+	}
+	if h.Count() != 100 || h.Sum() != 90*5+10*1000 {
+		t.Errorf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(7)
+	r.Gauge("b.gauge").Set(-3)
+	r.RegisterGaugeFunc("c.computed", func() int64 { return 42 })
+	h := r.Histogram("d.hist")
+	h.Observe(1)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	want := r.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.Schema != "telemetry/v1" {
+		t.Errorf("schema = %q, want telemetry/v1", got.Schema)
+	}
+	if got.Counters["a.count"] != 7 || got.Gauges["b.gauge"] != -3 || got.Gauges["c.computed"] != 42 {
+		t.Errorf("values lost in round trip: %+v", got)
+	}
+	if got.Histograms["d.hist"].Count != 2 {
+		t.Errorf("histogram count = %d, want 2", got.Histograms["d.hist"].Count)
+	}
+}
+
+func TestRegistryGetOrCreateReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter returned distinct handles for the same name")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("Gauge returned distinct handles for the same name")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("Histogram returned distinct handles for the same name")
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(5)
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters["c"] != 0 || s.Gauges["g"] != 0 || s.Histograms["h"].Count != 0 {
+		t.Errorf("reset left values: %+v", s)
+	}
+}
+
+// TestConcurrentRecording exercises every record path from many
+// goroutines at once; run with -race this verifies the lock-free
+// claims.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(4, 128)
+	const goroutines = 8
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			h := r.Histogram("shared.hist")
+			ga := r.Gauge("shared.gauge")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				ga.Set(int64(i))
+				tr.Record(Event{Kind: KindSend, Name: "t", Rank: int32(g % 4), Peer: 0, Start: int64(i)})
+				if i%100 == 0 {
+					r.Snapshot() // concurrent reads
+					tr.Events()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared.counter"] != goroutines*perG {
+		t.Errorf("counter = %d, want %d", s.Counters["shared.counter"], goroutines*perG)
+	}
+	if s.Histograms["shared.hist"].Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", s.Histograms["shared.hist"].Count, goroutines*perG)
+	}
+}
+
+// TestRecordPathAllocs asserts the acceptance criterion directly: one
+// counter add, one histogram observation, and one trace record perform
+// zero allocations.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	tr := NewTracer(2, 64)
+	if n := testing.AllocsPerRun(100, func() { c.Add(1) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(12345) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Record(Event{Kind: KindSend, Name: "tag", Rank: 1, Peer: 0, Bytes: 64, Start: 1})
+	}); n != 0 {
+		t.Errorf("Tracer.Record allocates %v/op", n)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Histogram("h").Observe(10)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a.first") || !strings.Contains(out, "z.last") {
+		t.Errorf("text summary missing counters:\n%s", out)
+	}
+	if strings.Index(out, "a.first") > strings.Index(out, "z.last") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "count=1") {
+		t.Errorf("histogram line missing:\n%s", out)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench.counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench.hist")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(4, 1<<12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record(Event{Kind: KindSend, Name: "tag", Rank: int32(i & 3), Peer: 0, Bytes: 64, Start: int64(i)})
+	}
+}

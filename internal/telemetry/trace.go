@@ -1,0 +1,340 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a trace event. Sends are instants (the simulated
+// machine's Send never blocks); the other kinds carry a duration.
+type Kind uint8
+
+const (
+	KindSpan    Kind = iota // a named region of work (plan build, execute, exchange)
+	KindSend                // point-to-point send: Peer is the destination, Bytes the payload
+	KindRecv                // point-to-point receive: Dur is the time blocked waiting
+	KindBarrier             // barrier wait
+	KindReduce              // collective operation (reduce, bcast, gather, alltoall)
+)
+
+// String returns the Chrome-trace category name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSpan:
+		return "span"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindBarrier:
+		return "barrier"
+	case KindReduce:
+		return "reduce"
+	}
+	return "unknown"
+}
+
+// HostRank is the timeline for work that happens outside any SPMD body:
+// plan construction, cache fills, driver code.
+const HostRank = -1
+
+// Event is one record on a rank's timeline. Start and Dur are
+// nanoseconds since the tracer's epoch; Dur 0 marks an instant. Peer -1
+// means no counterpart.
+type Event struct {
+	Kind  Kind
+	Name  string
+	Rank  int32
+	Peer  int32
+	Bytes int64
+	Start int64
+	Dur   int64
+}
+
+// Tracer records SPMD events into fixed-capacity per-rank ring buffers:
+// one ring per processor rank plus one for HostRank. Recording takes the
+// ring's mutex (uncontended in SPMD use — each rank records from its own
+// goroutine) and never allocates; when a ring is full the oldest events
+// are overwritten.
+type Tracer struct {
+	epoch time.Time
+	ranks int
+	rings []eventRing // rings[0..ranks-1] per rank, rings[ranks] is the host
+}
+
+type eventRing struct {
+	mu  sync.Mutex
+	buf []Event
+	n   uint64 // total events ever recorded; buf[(n-1)%cap] is newest
+}
+
+// NewTracer creates a tracer for the given number of processor ranks
+// with capacity events retained per rank (minimum 16).
+func NewTracer(ranks, capacity int) *Tracer {
+	if ranks < 0 {
+		ranks = 0
+	}
+	if capacity < 16 {
+		capacity = 16
+	}
+	t := &Tracer{epoch: time.Now(), ranks: ranks}
+	t.rings = make([]eventRing, ranks+1)
+	for i := range t.rings {
+		t.rings[i].buf = make([]Event, capacity)
+	}
+	return t
+}
+
+// Ranks returns the number of processor timelines (excluding the host).
+func (t *Tracer) Ranks() int { return t.ranks }
+
+// Now returns nanoseconds since the tracer's epoch — the Start value for
+// events recorded now.
+func (t *Tracer) Now() int64 { return time.Since(t.epoch).Nanoseconds() }
+
+// ring maps a rank (HostRank or [0, ranks)) to its ring; out-of-range
+// ranks fold onto the host ring rather than corrupting memory.
+func (t *Tracer) ring(rank int32) *eventRing {
+	if rank >= 0 && int(rank) < t.ranks {
+		return &t.rings[rank]
+	}
+	return &t.rings[t.ranks]
+}
+
+// Record appends e to the ring of e.Rank. It never allocates; callers on
+// hot paths pass string constants as Name.
+func (t *Tracer) Record(e Event) {
+	r := t.ring(e.Rank)
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = e
+	r.n++
+	r.mu.Unlock()
+}
+
+// EndSpan records a KindSpan event on rank's timeline that began at
+// start (a value from Now) and ends now.
+func (t *Tracer) EndSpan(rank int32, name string, start int64) {
+	t.Record(Event{Kind: KindSpan, Name: name, Rank: rank, Peer: -1, Start: start, Dur: t.Now() - start})
+}
+
+// Events returns every retained event, oldest first per ring, host ring
+// last. Export-path only; allocates.
+func (t *Tracer) Events() []Event {
+	var out []Event
+	for i := range t.rings {
+		r := &t.rings[i]
+		r.mu.Lock()
+		c := uint64(len(r.buf))
+		kept := r.n
+		if kept > c {
+			kept = c
+		}
+		for j := uint64(0); j < kept; j++ {
+			out = append(out, r.buf[(r.n-kept+j)%c])
+		}
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten because their ring
+// was full.
+func (t *Tracer) Dropped() int64 {
+	var d int64
+	for i := range t.rings {
+		r := &t.rings[i]
+		r.mu.Lock()
+		if c := uint64(len(r.buf)); r.n > c {
+			d += int64(r.n - c)
+		}
+		r.mu.Unlock()
+	}
+	return d
+}
+
+// active is the process-wide tracer consulted by the instrumented
+// packages; nil (the default) disables tracing with a single atomic
+// load on the hot path.
+var active atomic.Pointer[Tracer]
+
+// StartTracing installs a new process-wide tracer for ranks processor
+// timelines with the given per-rank event capacity, and returns it.
+func StartTracing(ranks, capacity int) *Tracer {
+	t := NewTracer(ranks, capacity)
+	active.Store(t)
+	return t
+}
+
+// StopTracing uninstalls and returns the process-wide tracer (nil if
+// none was active). The returned tracer can still be exported.
+func StopTracing() *Tracer {
+	return active.Swap(nil)
+}
+
+// ActiveTracer returns the process-wide tracer, or nil when tracing is
+// off. Instrumented code checks for nil before doing any timing work.
+func ActiveTracer() *Tracer { return active.Load() }
+
+// chromeEvent is one entry of the Chrome trace_event JSON array
+// (ph "X" = complete event with duration, "i" = instant, "M" =
+// metadata). Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTid maps a rank to a Chrome thread id: ranks keep their number,
+// the host timeline goes below them as tid ranks.
+func (t *Tracer) chromeTid(rank int32) int {
+	if rank >= 0 && int(rank) < t.ranks {
+		return int(rank)
+	}
+	return t.ranks
+}
+
+// WriteChromeTrace writes every retained event as a Chrome trace_event
+// JSON document loadable in chrome://tracing and Perfetto: one thread
+// per rank (plus "host"), complete events for spans/recvs/barriers/
+// collectives and instant events for sends, with peer and byte counts
+// in args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
+
+	var out []chromeEvent
+	// Thread names first, so viewers label every timeline even when a
+	// rank recorded nothing.
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "spmd machine"},
+	})
+	for r := 0; r <= t.ranks; r++ {
+		name := fmt.Sprintf("rank %d", r)
+		if r == t.ranks {
+			name = "host"
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Kind.String(),
+			Ts:   float64(e.Start) / 1e3,
+			Pid:  0,
+			Tid:  t.chromeTid(e.Rank),
+		}
+		if e.Peer >= 0 || e.Bytes > 0 {
+			ce.Args = map[string]any{}
+			if e.Peer >= 0 {
+				ce.Args["peer"] = e.Peer
+			}
+			if e.Bytes > 0 {
+				ce.Args["bytes"] = e.Bytes
+			}
+		}
+		if e.Kind == KindSend {
+			ce.Ph = "i"
+			ce.Scope = "t"
+		} else {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		}
+		out = append(out, ce)
+	}
+	data, err := json.MarshalIndent(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"}, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteSummary writes a plain-text per-rank digest of the retained
+// events: message/barrier/collective counts, bytes sent, and the total
+// time attributed to each span name.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	events := t.Events()
+	type rankAgg struct {
+		sends, recvs, barriers, reduces int64
+		bytesOut                        int64
+		recvWaitNs, barrierWaitNs       int64
+	}
+	aggs := make([]rankAgg, t.ranks+1)
+	spanNs := map[string]int64{}
+	spanCount := map[string]int64{}
+	for _, e := range events {
+		a := &aggs[t.chromeTid(e.Rank)]
+		switch e.Kind {
+		case KindSend:
+			a.sends++
+			a.bytesOut += e.Bytes
+		case KindRecv:
+			a.recvs++
+			a.recvWaitNs += e.Dur
+		case KindBarrier:
+			a.barriers++
+			a.barrierWaitNs += e.Dur
+		case KindReduce:
+			a.reduces++
+		case KindSpan:
+			spanNs[e.Name] += e.Dur
+			spanCount[e.Name]++
+		}
+	}
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("rank   sends  recvs  barriers  collectives  bytes_out  recv_wait  barrier_wait\n")
+	for r := 0; r <= t.ranks; r++ {
+		a := aggs[r]
+		label := fmt.Sprintf("%4d", r)
+		if r == t.ranks {
+			if a == (rankAgg{}) {
+				continue // host rarely sends; skip an all-zero line
+			}
+			label = "host"
+		}
+		pr("%s  %6d %6d %9d %12d %10d %10s %13s\n",
+			label, a.sends, a.recvs, a.barriers, a.reduces, a.bytesOut,
+			time.Duration(a.recvWaitNs), time.Duration(a.barrierWaitNs))
+	}
+	if len(spanNs) > 0 {
+		pr("spans (total time by name, all ranks):\n")
+		names := make([]string, 0, len(spanNs))
+		for name := range spanNs {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return spanNs[names[i]] > spanNs[names[j]] })
+		for _, name := range names {
+			pr("  %-32s %6d× %12s\n", name, spanCount[name], time.Duration(spanNs[name]))
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		pr("(%d events dropped: ring buffers full)\n", d)
+	}
+	return err
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(1, 16)
+	for i := 0; i < 40; i++ {
+		tr.Record(Event{Kind: KindSend, Name: "t", Rank: 0, Start: int64(i)})
+	}
+	events := tr.Events()
+	if len(events) != 16 {
+		t.Fatalf("retained %d events, want 16", len(events))
+	}
+	// Oldest retained should be event 24 (40 recorded, 16 kept).
+	if events[0].Start != 24 || events[15].Start != 39 {
+		t.Errorf("ring kept [%d, %d], want [24, 39]", events[0].Start, events[15].Start)
+	}
+	if d := tr.Dropped(); d != 24 {
+		t.Errorf("Dropped() = %d, want 24", d)
+	}
+}
+
+func TestTracerRankRouting(t *testing.T) {
+	tr := NewTracer(2, 16)
+	tr.Record(Event{Kind: KindSend, Name: "a", Rank: 0, Start: 1})
+	tr.Record(Event{Kind: KindSend, Name: "b", Rank: 1, Start: 2})
+	tr.Record(Event{Kind: KindSpan, Name: "c", Rank: HostRank, Start: 3})
+	tr.Record(Event{Kind: KindSpan, Name: "d", Rank: 99, Start: 4}) // out of range → host
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	// Events returns rings in order: rank 0, rank 1, host.
+	if events[0].Name != "a" || events[1].Name != "b" || events[2].Name != "c" || events[3].Name != "d" {
+		t.Errorf("unexpected ring order: %+v", events)
+	}
+}
+
+func TestStartStopTracing(t *testing.T) {
+	if ActiveTracer() != nil {
+		t.Fatal("tracer active at test start")
+	}
+	tr := StartTracing(2, 64)
+	if ActiveTracer() != tr {
+		t.Error("StartTracing did not install the tracer")
+	}
+	if got := StopTracing(); got != tr {
+		t.Error("StopTracing did not return the installed tracer")
+	}
+	if ActiveTracer() != nil {
+		t.Error("tracer still active after StopTracing")
+	}
+	if StopTracing() != nil {
+		t.Error("second StopTracing should return nil")
+	}
+}
+
+func TestEndSpan(t *testing.T) {
+	tr := NewTracer(1, 16)
+	start := tr.Now()
+	tr.EndSpan(0, "work", start)
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d events", len(events))
+	}
+	e := events[0]
+	if e.Kind != KindSpan || e.Name != "work" || e.Start != start || e.Dur < 0 {
+		t.Errorf("bad span event: %+v", e)
+	}
+}
+
+// goldenTracer records a fixed event sequence with explicit timestamps,
+// so the Chrome export is byte-for-byte reproducible.
+func goldenTracer() *Tracer {
+	tr := NewTracer(2, 64)
+	tr.Record(Event{Kind: KindSpan, Name: "comm.plan", Rank: HostRank, Peer: -1, Start: 1000, Dur: 5000})
+	tr.Record(Event{Kind: KindSend, Name: "comm.copy", Rank: 0, Peer: 1, Bytes: 256, Start: 7000})
+	tr.Record(Event{Kind: KindRecv, Name: "comm.copy", Rank: 1, Peer: 0, Bytes: 256, Start: 7100, Dur: 900})
+	tr.Record(Event{Kind: KindBarrier, Name: "barrier", Rank: 0, Peer: -1, Start: 9000, Dur: 1500})
+	tr.Record(Event{Kind: KindBarrier, Name: "barrier", Rank: 1, Peer: -1, Start: 9200, Dur: 1300})
+	tr.Record(Event{Kind: KindReduce, Name: "allreduce", Rank: 0, Peer: -1, Start: 11000, Dur: 2000})
+	tr.Record(Event{Kind: KindReduce, Name: "allreduce", Rank: 1, Peer: -1, Start: 11050, Dur: 1950})
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// 3 thread_name + 1 process_name metadata + 7 events.
+	if len(doc.TraceEvents) != 11 {
+		t.Errorf("got %d trace events, want 11", len(doc.TraceEvents))
+	}
+	phs := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phs[e["ph"].(string)]++
+	}
+	if phs["M"] != 4 || phs["i"] != 1 || phs["X"] != 6 {
+		t.Errorf("phase counts = %v, want M:4 i:1 X:6", phs)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rank", "comm.plan", "spans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
