@@ -20,8 +20,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/machine"
 	"repro/internal/telemetry"
 )
 
@@ -38,12 +40,15 @@ func main() {
 		trace     = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 		metrics   = flag.Bool("metrics", false, "dump the telemetry registry as telemetry/v1 JSON after the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		faults    = flag.String("faults", "", "inject seeded message faults into every benchmark machine: seed=<n>,drop=<p>,dup=<p>,reorder=<p>,delay=<p>[:<dur>],crash=<rank>@<step>")
+		deadline  = flag.Duration("deadline", 0, "per-receive deadline: a Recv blocked longer than this fails the run instead of hanging")
 	)
 	flag.Parse()
 	cfg := config{
 		Table: *table, Figure: *figure, Cache: *cache, All: *all,
 		Procs: *procs, Reps: *reps, Elems: *elems, JSONPath: *jsonPath,
 		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprofAddr,
+		FaultSpec: *faults, Deadline: *deadline,
 	}
 	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -61,6 +66,8 @@ type config struct {
 	TracePath     string
 	Metrics       bool
 	PprofAddr     string
+	FaultSpec     string
+	Deadline      time.Duration
 }
 
 // report is the -json output document. Schema: see README.md
@@ -137,6 +144,43 @@ func run(table, figure int, all bool, procs int64, reps int, elems int64) error 
 }
 
 func runConfig(cfg config) error {
+	// Flag failure modes surface before any benchmark runs: a malformed
+	// -faults spec or an unwritable -json/-trace path exits non-zero
+	// immediately, not after minutes of measurement.
+	var faults *machine.FaultPlan
+	if cfg.FaultSpec != "" {
+		fp, err := machine.ParseFaultSpec(cfg.FaultSpec)
+		if err != nil {
+			return fmt.Errorf("invalid -faults spec: %w", err)
+		}
+		faults = fp
+	}
+	var jsonFile, traceFile *os.File
+	cleanup := func() {
+		if jsonFile != nil {
+			jsonFile.Close()
+			os.Remove(cfg.JSONPath)
+		}
+		if traceFile != nil {
+			traceFile.Close()
+			os.Remove(cfg.TracePath)
+		}
+	}
+	if cfg.JSONPath != "" {
+		f, err := os.Create(cfg.JSONPath)
+		if err != nil {
+			return fmt.Errorf("cannot write -json output: %w", err)
+		}
+		jsonFile = f
+	}
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("cannot write -trace output: %w", err)
+		}
+		traceFile = f
+	}
 	if cfg.PprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
@@ -145,18 +189,92 @@ func runConfig(cfg config) error {
 		}()
 		fmt.Fprintf(os.Stderr, "benchtables: pprof on http://%s/debug/pprof/\n", cfg.PprofAddr)
 	}
-	if cfg.TracePath != "" {
+	// Benchmark machines are created inside internal/bench, so the fault
+	// plan and deadline are installed as machine-wide defaults for the
+	// duration of the runs (and reset on every exit path).
+	if faults != nil {
+		machine.SetDefaultFaults(faults)
+		defer machine.SetDefaultFaults(nil)
+		fmt.Fprintf(os.Stderr, "benchtables: faults armed: %s\n", cfg.FaultSpec)
+	}
+	if cfg.Deadline > 0 {
+		machine.SetDefaultDeadline(cfg.Deadline)
+		defer machine.SetDefaultDeadline(0)
+	}
+	if traceFile != nil {
 		telemetry.StartTracing(int(cfg.Procs), 1<<14)
 	}
 	rep := report{
 		Schema: "benchtables/v1",
 		Config: reportConfig{Procs: cfg.Procs, Reps: cfg.Reps, Elems: cfg.Elems},
 	}
-	did := false
+	did, err := runBenches(cfg, &rep)
+	if err != nil || !did {
+		if traceFile != nil {
+			telemetry.StopTracing()
+		}
+		cleanup()
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache or -all")
+	}
+	if traceFile != nil {
+		if t := telemetry.StopTracing(); t != nil {
+			if err := t.WriteChromeTrace(traceFile); err != nil {
+				traceFile.Close()
+				return err
+			}
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", cfg.TracePath)
+		} else {
+			traceFile.Close()
+			os.Remove(cfg.TracePath)
+		}
+	}
+	if jsonFile != nil {
+		snap := telemetry.Default().Snapshot()
+		rep.Telemetry = &snap
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			jsonFile.Close()
+			return err
+		}
+		data = append(data, '\n')
+		if _, err := jsonFile.Write(data); err != nil {
+			jsonFile.Close()
+			return err
+		}
+		if err := jsonFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", cfg.JSONPath)
+	}
+	if cfg.Metrics {
+		fmt.Printf("\ntelemetry registry (%s):\n", telemetry.Schema)
+		if err := telemetry.Default().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBenches runs the selected benchmark families. Machine-level
+// failures under -faults/-deadline — injected crashes, watchdog trips,
+// expired deadlines — arrive as panics out of the benchmark machines
+// and are converted to ordinary errors here.
+func runBenches(cfg config, rep *report) (did bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			did, err = false, fmt.Errorf("machine failure: %v", r)
+		}
+	}()
 	if cfg.All || cfg.Table == 1 {
 		rows, err := bench.Table1(cfg.Procs, cfg.Reps)
 		if err != nil {
-			return err
+			return did, err
 		}
 		fmt.Print(bench.FormatTable1(rows))
 		fmt.Println()
@@ -166,7 +284,7 @@ func runConfig(cfg config) error {
 	if cfg.All || cfg.Figure == 7 {
 		rows, err := bench.Figure7(cfg.Procs, cfg.Reps)
 		if err != nil {
-			return err
+			return did, err
 		}
 		fmt.Print(bench.FormatFigure7(rows))
 		fmt.Println()
@@ -176,7 +294,7 @@ func runConfig(cfg config) error {
 	if cfg.All || cfg.Table == 2 {
 		results, err := bench.Table2(cfg.Procs, cfg.Elems, cfg.Reps)
 		if err != nil {
-			return err
+			return did, err
 		}
 		fmt.Print(bench.FormatTable2(results))
 		did = true
@@ -193,7 +311,7 @@ func runConfig(cfg config) error {
 		// while averaging out scheduler noise.
 		results, err := bench.CacheBenchmarks(cfg.Procs, 20*cfg.Reps)
 		if err != nil {
-			return err
+			return did, err
 		}
 		if did {
 			fmt.Println()
@@ -212,43 +330,5 @@ func runConfig(cfg config) error {
 			})
 		}
 	}
-	if !did {
-		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache or -all")
-	}
-	if cfg.TracePath != "" {
-		if t := telemetry.StopTracing(); t != nil {
-			f, err := os.Create(cfg.TracePath)
-			if err != nil {
-				return err
-			}
-			if err := t.WriteChromeTrace(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", cfg.TracePath)
-		}
-	}
-	if cfg.JSONPath != "" {
-		snap := telemetry.Default().Snapshot()
-		rep.Telemetry = &snap
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(cfg.JSONPath, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", cfg.JSONPath)
-	}
-	if cfg.Metrics {
-		fmt.Printf("\ntelemetry registry (%s):\n", telemetry.Schema)
-		if err := telemetry.Default().WriteJSON(os.Stdout); err != nil {
-			return err
-		}
-	}
-	return nil
+	return did, nil
 }

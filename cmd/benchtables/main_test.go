@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -73,5 +74,43 @@ func TestRunCacheWithJSON(t *testing.T) {
 	// cache publishes its gauges into the snapshot.
 	if _, ok := rep.Telemetry.Gauges["plancache.core.tables.hits"]; !ok {
 		t.Error("telemetry snapshot missing plancache.core.tables.hits gauge")
+	}
+}
+
+func TestInvalidFaultSpec(t *testing.T) {
+	err := runConfig(config{Cache: true, Procs: 2, Reps: 1, Elems: 100,
+		FaultSpec: "drop=2"})
+	if err == nil {
+		t.Fatal("out-of-range drop probability should be rejected")
+	}
+	if !strings.Contains(err.Error(), "-faults") {
+		t.Errorf("error %q should name the -faults flag", err)
+	}
+}
+
+func TestUnwritableJSONPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "bench.json")
+	err := runConfig(config{Cache: true, Procs: 2, Reps: 1, Elems: 100,
+		JSONPath: path})
+	if err == nil {
+		t.Fatal("unwritable -json path should fail")
+	}
+	if !strings.Contains(err.Error(), "-json") {
+		t.Errorf("error %q should name the -json flag", err)
+	}
+}
+
+// TestFaultedBenchFailsStructured verifies the default-plan wiring end
+// to end: machines created deep inside internal/bench inherit the
+// armed plan, drop every message, and the watchdog converts the wedged
+// benchmark into an error instead of a hang.
+func TestFaultedBenchFailsStructured(t *testing.T) {
+	err := runConfig(config{Cache: true, Procs: 2, Reps: 1, Elems: 100,
+		FaultSpec: "seed=1,drop=1"})
+	if err == nil {
+		t.Fatal("benchmark with every message dropped should fail")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("error %q should name the deadlock", err)
 	}
 }

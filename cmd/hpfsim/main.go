@@ -9,6 +9,8 @@
 //	hpfsim -trace trace.json      # per-rank Chrome trace (chrome://tracing, Perfetto)
 //	hpfsim -metrics               # dump the telemetry registry (telemetry/v1 JSON)
 //	hpfsim -pprof localhost:6060  # serve net/http/pprof during the run
+//	hpfsim -faults seed=3,delay=0.2:200us,reorder=0.2   # seeded chaos run
+//	hpfsim -deadline 2s           # blocked receives fail instead of hanging
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/dist"
@@ -29,17 +32,20 @@ import (
 
 func main() {
 	var (
-		p       = flag.Int64("p", 4, "number of processors")
-		k       = flag.Int64("k", 8, "block size")
-		k2      = flag.Int64("k2", 5, "block size of the second distribution")
-		n       = flag.Int64("n", 320, "array size")
-		trace   = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
-		metrics = flag.Bool("metrics", false, "dump the telemetry registry as telemetry/v1 JSON after the run")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		p        = flag.Int64("p", 4, "number of processors")
+		k        = flag.Int64("k", 8, "block size")
+		k2       = flag.Int64("k2", 5, "block size of the second distribution")
+		n        = flag.Int64("n", 320, "array size")
+		trace    = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		metrics  = flag.Bool("metrics", false, "dump the telemetry registry as telemetry/v1 JSON after the run")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		faults   = flag.String("faults", "", "inject seeded message faults: seed=<n>,drop=<p>,dup=<p>,reorder=<p>,delay=<p>[:<dur>],crash=<rank>@<step>")
+		deadline = flag.Duration("deadline", 0, "per-receive deadline: a Recv blocked longer than this fails the run instead of hanging")
 	)
 	flag.Parse()
 	cfg := config{P: *p, K: *k, K2: *k2, N: *n,
-		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof}
+		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
+		FaultSpec: *faults, Deadline: *deadline}
 	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hpfsim:", err)
 		os.Exit(1)
@@ -51,6 +57,8 @@ type config struct {
 	TracePath   string
 	Metrics     bool
 	PprofAddr   string
+	FaultSpec   string
+	Deadline    time.Duration
 }
 
 // traceCapacity retains plenty of events per rank for the demo workload
@@ -58,6 +66,26 @@ type config struct {
 const traceCapacity = 1 << 14
 
 func runConfig(cfg config) error {
+	// Flag failure modes surface before any work runs: a malformed
+	// -faults spec or an unwritable -trace path exits non-zero with a
+	// message naming the flag, not a partial run with a surprise at the
+	// end.
+	var faults *machine.FaultPlan
+	if cfg.FaultSpec != "" {
+		fp, err := machine.ParseFaultSpec(cfg.FaultSpec)
+		if err != nil {
+			return fmt.Errorf("invalid -faults spec: %w", err)
+		}
+		faults = fp
+	}
+	var traceFile *os.File
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			return fmt.Errorf("cannot write -trace output: %w", err)
+		}
+		traceFile = f
+	}
 	if cfg.PprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
@@ -66,21 +94,21 @@ func runConfig(cfg config) error {
 		}()
 		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", cfg.PprofAddr)
 	}
-	if cfg.TracePath != "" {
+	if traceFile != nil {
 		telemetry.StartTracing(int(cfg.P), traceCapacity)
 	}
-	runErr := run(cfg.P, cfg.K, cfg.K2, cfg.N)
-	if cfg.TracePath != "" {
-		if t := telemetry.StopTracing(); t != nil && runErr == nil {
-			f, err := os.Create(cfg.TracePath)
-			if err != nil {
+	runErr := run(cfg, faults)
+	if traceFile != nil {
+		t := telemetry.StopTracing()
+		if t == nil || runErr != nil {
+			traceFile.Close()
+			os.Remove(cfg.TracePath)
+		} else {
+			if err := t.WriteChromeTrace(traceFile); err != nil {
+				traceFile.Close()
 				return err
 			}
-			if err := t.WriteChromeTrace(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := traceFile.Close(); err != nil {
 				return err
 			}
 			fmt.Printf("\ntrace: wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", cfg.TracePath)
@@ -99,7 +127,18 @@ func runConfig(cfg config) error {
 	return runErr
 }
 
-func run(p, k, k2, n int64) error {
+// run executes the demo workload. Machine-level failures — an injected
+// crash, a tripped deadlock watchdog, an expired -deadline — arrive as
+// panics out of m.Run and are converted to ordinary errors here so main
+// exits non-zero with the diagnostic instead of dumping a goroutine
+// trace.
+func run(cfg config, faults *machine.FaultPlan) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("machine failure: %v", r)
+		}
+	}()
+	p, k, k2, n := cfg.P, cfg.K, cfg.K2, cfg.N
 	layoutA, err := dist.New(p, k)
 	if err != nil {
 		return err
@@ -109,6 +148,13 @@ func run(p, k, k2, n int64) error {
 		return err
 	}
 	m := machine.MustNew(int(p))
+	if cfg.Deadline > 0 {
+		m.WithDeadline(cfg.Deadline)
+	}
+	if faults != nil {
+		m.SetFaults(faults)
+		fmt.Printf("faults: armed %s\n", cfg.FaultSpec)
+	}
 
 	fmt.Printf("machine: %d processors\n", p)
 	fmt.Printf("A: %d elements, %v\n", n, layoutA)
@@ -181,5 +227,8 @@ func run(p, k, k2, n int64) error {
 		}
 	})
 	fmt.Printf("allreduce max(A) = %v\n", maxes[0])
+	if faults != nil {
+		fmt.Println(m.FaultSummary())
+	}
 	return nil
 }

@@ -4,20 +4,21 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunDefault(t *testing.T) {
-	if err := run(4, 8, 5, 320); err != nil {
+	if err := run(config{P: 4, K: 8, K2: 5, N: 320}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOtherShapes(t *testing.T) {
-	if err := run(3, 4, 7, 100); err != nil {
+	if err := run(config{P: 3, K: 4, K2: 7, N: 100}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, 2, 3, 40); err != nil {
+	if err := run(config{P: 1, K: 2, K2: 3, N: 40}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,10 +76,58 @@ func TestTraceOutput(t *testing.T) {
 }
 
 func TestRunInvalid(t *testing.T) {
-	if err := run(0, 8, 5, 320); err == nil {
+	if err := run(config{P: 0, K: 8, K2: 5, N: 320}, nil); err == nil {
 		t.Error("p=0 should fail")
 	}
-	if err := run(4, 0, 5, 320); err == nil {
+	if err := run(config{P: 4, K: 0, K2: 5, N: 320}, nil); err == nil {
 		t.Error("k=0 should fail")
+	}
+}
+
+// TestFaultedRunCompletes: a delay/reorder plan perturbs every transfer
+// but must not change any result the demo verifies.
+func TestFaultedRunCompletes(t *testing.T) {
+	cfg := config{P: 4, K: 8, K2: 5, N: 320,
+		FaultSpec: "seed=3,delay=0.2:200us,reorder=0.2"}
+	if err := runConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDroppedRunFailsStructured: drop=1 wedges the section copy; the
+// watchdog must convert the hang into a non-nil error naming the
+// deadlock, so main exits non-zero instead of hanging.
+func TestDroppedRunFailsStructured(t *testing.T) {
+	cfg := config{P: 4, K: 8, K2: 5, N: 320, FaultSpec: "seed=1,drop=1"}
+	err := runConfig(cfg)
+	if err == nil {
+		t.Fatal("run with every message dropped should fail")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("error %q should name the deadlock", err)
+	}
+}
+
+func TestInvalidFaultSpec(t *testing.T) {
+	for _, spec := range []string{"drop=2", "bogus", "crash=1@-5"} {
+		err := runConfig(config{P: 4, K: 8, K2: 5, N: 320, FaultSpec: spec})
+		if err == nil {
+			t.Errorf("spec %q should be rejected", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-faults") {
+			t.Errorf("error %q should name the -faults flag", err)
+		}
+	}
+}
+
+func TestUnwritableTracePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "trace.json")
+	err := runConfig(config{P: 4, K: 8, K2: 5, N: 320, TracePath: path})
+	if err == nil {
+		t.Fatal("unwritable -trace path should fail")
+	}
+	if !strings.Contains(err.Error(), "-trace") {
+		t.Errorf("error %q should name the -trace flag", err)
 	}
 }

@@ -42,7 +42,11 @@ func hashPlanKey(k planKey) uint64 {
 
 var planCache = plancache.New[planKey, *Plan](256, hashPlanKey)
 
-func init() { planCache.Register("comm.plan1d") }
+func init() {
+	if err := planCache.Register("comm.plan1d"); err != nil {
+		panic(err)
+	}
+}
 
 // CachedPlan is NewPlan through the process-wide plan cache: the first
 // occurrence of a (layouts, sizes, sections) pattern plans it, repeats
@@ -95,7 +99,11 @@ func hashPlanKey2D(k planKey2D) uint64 {
 
 var plan2DCache = plancache.New[planKey2D, *Plan2D](64, hashPlanKey2D)
 
-func init() { plan2DCache.Register("comm.plan2d") }
+func init() {
+	if err := plan2DCache.Register("comm.plan2d"); err != nil {
+		panic(err)
+	}
+}
 
 // CachedPlan2D is NewPlan2D through the process-wide 2-D plan cache.
 // The key covers the grids' per-axis layouts, so two *dist.Grid values

@@ -1,0 +1,117 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+	"repro/internal/section"
+)
+
+// Chaos tests: communication plans execute under seeded fault plans
+// applied inside the machine's Send/Recv, so the pack/exchange/unpack
+// protocol is exercised unmodified. Delay, duplication and reorder must
+// not corrupt a transfer (each (sender, tag) pair carries exactly one
+// message per Execute); dropped messages must surface as a structured
+// watchdog failure, never a hang. CI runs these with -race and a hard
+// timeout (chaos-smoke job).
+
+// chaosFixture builds differently-distributed src/dst arrays and the
+// plan for dst(0:2(cnt-1):2) = src(4:n-1:9).
+func chaosFixture(t *testing.T) (*Plan, *hpf.Array, *hpf.Array, section.Section, section.Section) {
+	t.Helper()
+	const n = 320
+	srcL := dist.MustNew(4, 8)
+	dstL := dist.MustNew(4, 5)
+	src := hpf.MustNewArray(srcL, n)
+	for i := int64(0); i < n; i++ {
+		src.Set(i, float64(i))
+	}
+	dst := hpf.MustNewArray(dstL, n)
+	srcSec := section.Section{Lo: 4, Hi: n - 1, Stride: 9}
+	dstSec := section.Section{Lo: 0, Hi: 2 * (srcSec.Count() - 1), Stride: 2}
+	plan, err := NewPlan(dstL, n, dstSec, srcL, n, srcSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, dst, src, dstSec, srcSec
+}
+
+func checkCopied(t *testing.T, dst, src *hpf.Array, dstSec, srcSec section.Section) {
+	t.Helper()
+	for i := int64(0); i < srcSec.Count(); i++ {
+		want := src.Get(srcSec.Element(i))
+		if got := dst.Get(dstSec.Element(i)); got != want {
+			t.Fatalf("dst element %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestExecuteSurvivesDelayDupReorder(t *testing.T) {
+	for _, seed := range []int64{5, 19} {
+		plan, dst, src, dstSec, srcSec := chaosFixture(t)
+		m := machine.MustNew(4)
+		m.SetFaults(&machine.FaultPlan{
+			Seed: seed, Delay: 0.25, DelayBy: 300 * time.Microsecond,
+			Dup: 0.25, Reorder: 0.25, CrashRank: -1,
+		})
+		if err := plan.Execute(m, dst, src); err != nil {
+			t.Fatal(err)
+		}
+		checkCopied(t, dst, src, dstSec, srcSec)
+		if len(m.FaultEvents()) == 0 {
+			t.Errorf("seed %d: no faults injected; plan not exercised", seed)
+		}
+	}
+}
+
+func TestExecuteWithSurvivesFaults(t *testing.T) {
+	plan, dst, src, dstSec, srcSec := chaosFixture(t)
+	base := 0.5
+	for i := int64(0); i < dst.N(); i++ {
+		dst.Set(i, base)
+	}
+	m := machine.MustNew(4)
+	m.SetFaults(&machine.FaultPlan{
+		Seed: 23, Delay: 0.3, DelayBy: 300 * time.Microsecond, Reorder: 0.3,
+		CrashRank: -1,
+	})
+	if err := plan.ExecuteWith(m, dst, src, Add); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < srcSec.Count(); i++ {
+		want := base + src.Get(srcSec.Element(i))
+		if got := dst.Get(dstSec.Element(i)); got != want {
+			t.Fatalf("dst element %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestExecuteDropBecomesStructuredFailure: losing plan messages parks
+// the unpack side forever; the watchdog must abort with a diagnostic
+// naming the comm tag instead of hanging the test suite.
+func TestExecuteDropBecomesStructuredFailure(t *testing.T) {
+	plan, dst, src, _, _ := chaosFixture(t)
+	m := machine.MustNew(4)
+	m.SetQuiescence(15 * time.Millisecond)
+	m.SetFaults(&machine.FaultPlan{Seed: 3, Drop: 1, CrashRank: -1})
+	start := time.Now()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected watchdog abort when every message is dropped")
+		}
+		msg := r.(string)
+		if !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "comm.copy") {
+			t.Errorf("diagnostic %q should name the deadlock and the comm tag", msg)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("abort took %v", elapsed)
+		}
+	}()
+	_ = plan.Execute(m, dst, src)
+	t.Fatal("Execute with all messages dropped should not complete")
+}

@@ -1,0 +1,60 @@
+package halo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/hpf"
+	"repro/internal/machine"
+)
+
+// Chaos tests: Exchange runs under seeded fault plans injected inside
+// machine Send/Recv. Each neighbor pair exchanges one message per
+// direction per tag, so delay, duplication and reorder must leave every
+// ghost cell correct; dropped messages must become a watchdog abort
+// naming the parked halo receive.
+
+func TestExchangeSurvivesDelayDupReorder(t *testing.T) {
+	layout := dist.MustNew(4, 8)
+	const n = 320
+	a := hpf.MustNewArray(layout, n)
+	for i := int64(0); i < n; i++ {
+		a.Set(i, float64(i)*1.5+1)
+	}
+	for _, seed := range []int64{7, 31} {
+		m := machine.MustNew(4)
+		m.SetFaults(&machine.FaultPlan{
+			Seed: seed, Delay: 0.25, DelayBy: 300 * time.Microsecond,
+			Dup: 0.25, Reorder: 0.25, CrashRank: -1,
+		})
+		h, err := Exchange(m, a, 3, pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHalo(t, h, a, 3)
+		if len(m.FaultEvents()) == 0 {
+			t.Errorf("seed %d: no faults injected; exchange not exercised", seed)
+		}
+	}
+}
+
+func TestExchangeDropBecomesStructuredFailure(t *testing.T) {
+	a := hpf.MustNewArray(dist.MustNew(4, 8), 320)
+	m := machine.MustNew(4)
+	m.SetQuiescence(15 * time.Millisecond)
+	m.SetFaults(&machine.FaultPlan{Seed: 9, Drop: 1, CrashRank: -1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected watchdog abort when halo messages are dropped")
+		}
+		msg := r.(string)
+		if !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "parked in") {
+			t.Errorf("diagnostic %q should name the deadlock and a wait site", msg)
+		}
+	}()
+	_, _ = Exchange(m, a, 2, pad)
+	t.Fatal("Exchange with all messages dropped should not complete")
+}

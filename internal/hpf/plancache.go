@@ -38,7 +38,11 @@ type sectionPlans struct {
 
 var sectionPlanCache = plancache.New[sectionKey, *sectionPlans](512, hashSectionKey)
 
-func init() { sectionPlanCache.Register("hpf.section_plans") }
+func init() {
+	if err := sectionPlanCache.Register("hpf.section_plans"); err != nil {
+		panic(err)
+	}
+}
 
 // SectionPlanCacheStats snapshots the section-plan cache counters;
 // Misses equal the number of full per-array plan constructions.

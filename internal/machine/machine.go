@@ -8,6 +8,11 @@
 // The programming model is SPMD: Machine.Run launches the same body on
 // every processor and waits for all of them to finish. Within the body,
 // a *Proc provides its rank and the communication primitives.
+//
+// The machine also carries a robustness layer (see README, Robustness):
+// a deadlock watchdog with per-rank wait-site diagnostics (watchdog.go),
+// per-call and machine-wide receive deadlines, and deterministic seeded
+// fault injection (faults.go).
 package machine
 
 import (
@@ -35,14 +40,53 @@ type Machine struct {
 	procs   []*Proc
 	barrier *barrier
 
-	// parked counts processors blocked in Recv/RecvAny/Barrier waits.
-	// When every processor is parked no message can ever be delivered, so
-	// the run is deadlocked; Run's watchdog then aborts it with a
+	// parked counts processors blocked in Recv/RecvAny/Barrier waits and
+	// active counts processors whose body is still running. When every
+	// live (active) processor is parked no message can ever be delivered,
+	// so the run is deadlocked; Run's watchdog then aborts it with a
 	// diagnostic panic instead of hanging forever. progress increments on
 	// every send and wakeup so the watchdog can distinguish a true
 	// deadlock from a waiter that is runnable but not yet scheduled.
+	// inflight counts fault-delayed messages that have been decided but
+	// not yet delivered; the watchdog never trips while one is pending.
 	parked   atomic.Int64
+	active   atomic.Int64
 	progress atomic.Int64
+	inflight atomic.Int64
+
+	// Robustness knobs; set before Run (not concurrently with one).
+	quiescence time.Duration // watchdog confirmation window
+	deadline   time.Duration // machine-wide Recv/RecvAny deadline (0 = none)
+
+	faults   *FaultPlan
+	faultMu  sync.Mutex
+	faultLog []FaultEvent
+}
+
+// defaults are applied to every machine created by New, so CLIs can arm
+// fault injection and deadlines for machines constructed deep inside
+// other packages (e.g. the bench harness) without plumbing.
+var machineDefaults struct {
+	mu       sync.Mutex
+	deadline time.Duration
+	faults   *FaultPlan
+}
+
+// SetDefaultDeadline makes every subsequently created machine start with
+// the given machine-wide receive deadline (0 disables). Existing
+// machines are unaffected.
+func SetDefaultDeadline(d time.Duration) {
+	machineDefaults.mu.Lock()
+	machineDefaults.deadline = d
+	machineDefaults.mu.Unlock()
+}
+
+// SetDefaultFaults arms the given fault plan on every subsequently
+// created machine (nil disarms). Existing machines are unaffected.
+func SetDefaultFaults(plan *FaultPlan) {
+	machineDefaults.mu.Lock()
+	machineDefaults.faults = plan
+	machineDefaults.mu.Unlock()
 }
 
 // New creates a machine with p processors (p ≥ 1).
@@ -50,13 +94,17 @@ func New(p int) (*Machine, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("machine: processor count %d < 1", p)
 	}
-	m := &Machine{nprocs: p}
+	m := &Machine{nprocs: p, quiescence: defaultQuiescence}
 	m.barrier = newBarrier(p, &m.parked, &m.progress)
 	m.procs = make([]*Proc, p)
 	for i := range m.procs {
 		m.procs[i] = &Proc{rank: i, m: m}
 		m.procs[i].cond = sync.NewCond(&m.procs[i].mu)
 	}
+	machineDefaults.mu.Lock()
+	m.deadline = machineDefaults.deadline
+	m.faults = machineDefaults.faults
+	machineDefaults.mu.Unlock()
 	return m, nil
 }
 
@@ -72,6 +120,25 @@ func MustNew(p int) *Machine {
 // NProcs returns the processor count.
 func (m *Machine) NProcs() int { return m.nprocs }
 
+// WithDeadline sets a machine-wide deadline applied to every blocking
+// Recv/RecvAny (0 disables): a receive that waits longer panics with a
+// diagnostic naming the wait site, which Run converts into a structured
+// failure instead of a hang. Returns m for chaining. Per-call
+// RecvTimeout/RecvAnyTimeout deadlines are unaffected.
+func (m *Machine) WithDeadline(d time.Duration) *Machine {
+	if d < 0 {
+		d = 0
+	}
+	m.deadline = d
+	return m
+}
+
+// SetFaults arms plan for subsequent Run calls (nil disarms). The plan's
+// per-rank random streams and the fault-event log reset at the start of
+// every Run, so a given plan and SPMD body reproduce the identical
+// decision sequence on every run.
+func (m *Machine) SetFaults(plan *FaultPlan) { m.faults = plan }
+
 // Run executes body on every processor concurrently (SPMD) and blocks
 // until all instances return. It may be called repeatedly; mailboxes
 // persist across runs, so a protocol may span multiple Run calls.
@@ -80,12 +147,23 @@ func (m *Machine) NProcs() int { return m.nprocs }
 // finish or deadlock-free exit cannot be guaranteed; bodies should not
 // panic as part of normal operation.
 func (m *Machine) Run(body func(p *Proc)) {
+	if m.faults != nil {
+		m.faultMu.Lock()
+		m.faultLog = m.faultLog[:0]
+		m.faultMu.Unlock()
+		for _, p := range m.procs {
+			p.ops = 0
+			p.frand = m.faults.rankRand(p.rank)
+		}
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, m.nprocs)
+	m.active.Store(int64(m.nprocs))
 	for i := 0; i < m.nprocs; i++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer m.active.Add(-1)
 			defer func() {
 				if r := recover(); r != nil {
 					panics[rank] = r
@@ -134,41 +212,6 @@ type poisonError string
 
 func (e poisonError) Error() string { return string(e) }
 
-// watchdog aborts the run when every processor is parked in a blocking
-// wait: with all of them waiting, no send can ever happen, so the SPMD
-// program has deadlocked (e.g. two processors Recv-ing from each other).
-func (m *Machine) watchdog(done <-chan struct{}) {
-	ticker := time.NewTicker(2 * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-done:
-			return
-		case <-ticker.C:
-			// All-parked is stable: a parked processor can only resume if
-			// some other processor delivers a message or reaches the
-			// barrier, and none is running. One confirming re-read filters
-			// the transient where the last arrival at a barrier is between
-			// park and broadcast.
-			if m.parked.Load() == int64(m.nprocs) {
-				// Confirm over a generous window: any deliverable message
-				// would wake its receiver (bumping progress) long before
-				// this.
-				before := m.progress.Load()
-				time.Sleep(25 * time.Millisecond)
-				if m.parked.Load() != int64(m.nprocs) || m.progress.Load() != before {
-					continue
-				}
-				m.barrier.poison()
-				for _, p := range m.procs {
-					p.poisonWith("machine: deadlock: all processors blocked in Recv/Barrier")
-				}
-				return
-			}
-		}
-	}
-}
-
 // Proc is one simulated processor: a rank plus communication state.
 type Proc struct {
 	rank int
@@ -180,7 +223,42 @@ type Proc struct {
 	poisoned  bool
 	poisonMsg string
 
+	// Wait-site diagnostics for the watchdog, guarded by mu: which
+	// blocking call this processor is parked in, and since when.
+	waitKind  waitKind
+	waitFrom  int
+	waitTag   string
+	waitSince time.Time
+
+	// Fault-injection state, touched only by this processor's goroutine
+	// (reset by Run): the machine-op counter crash steps index into, and
+	// the rank's private decision stream.
+	ops   int64
+	frand *faultRand
+
 	stats statCounters
+}
+
+type waitKind uint8
+
+const (
+	waitNone waitKind = iota
+	waitRecv
+	waitRecvAny
+	waitBarrier
+)
+
+// waitSiteLocked formats the processor's current wait site. p.mu held.
+func (p *Proc) waitSiteLocked() string {
+	switch p.waitKind {
+	case waitRecv:
+		return fmt.Sprintf("Recv(from=%d, tag=%q)", p.waitFrom, p.waitTag)
+	case waitRecvAny:
+		return fmt.Sprintf("RecvAny(tag=%q)", p.waitTag)
+	case waitBarrier:
+		return "Barrier"
+	}
+	return "running"
 }
 
 // Rank returns this processor's rank in [0, NProcs).
@@ -196,6 +274,7 @@ func (p *Proc) Send(to int, tag string, data []float64, ints []int64) {
 	if to < 0 || to >= p.m.nprocs {
 		panic(fmt.Sprintf("machine: send to invalid rank %d", to))
 	}
+	op := p.faultStep()
 	p.stats.messagesSent.Add(1)
 	p.stats.valuesSent.Add(int64(len(data)))
 	telMessagesSent.Inc()
@@ -208,55 +287,114 @@ func (p *Proc) Send(to int, tag string, data []float64, ints []int64) {
 		})
 	}
 	p.m.progress.Add(1)
+	msg := Message{From: p.rank, To: to, Tag: tag, Data: data, Ints: ints}
+	if fp := p.m.faults; fp != nil && p.injectSendFault(fp, op, msg) {
+		return
+	}
+	p.deliver(to, msg, false)
+}
+
+// deliver appends msg to rank to's mailbox (or prepends it when front is
+// set, the reorder fault) and wakes the receiver.
+func (p *Proc) deliver(to int, msg Message, front bool) {
 	dst := p.m.procs[to]
 	dst.mu.Lock()
-	dst.mailbox = append(dst.mailbox, Message{
-		From: p.rank, To: to, Tag: tag, Data: data, Ints: ints,
-	})
+	if front && len(dst.mailbox) > 0 {
+		dst.mailbox = append(dst.mailbox, Message{})
+		copy(dst.mailbox[1:], dst.mailbox)
+		dst.mailbox[0] = msg
+	} else {
+		dst.mailbox = append(dst.mailbox, msg)
+	}
 	dst.mu.Unlock()
 	dst.cond.Broadcast()
 }
 
 // Recv blocks until a message with the given source and tag arrives and
 // returns it. Messages from the same sender with the same tag are
-// delivered in send order.
+// delivered in send order. If the machine has a deadline (WithDeadline),
+// waiting past it panics with a diagnostic naming this wait site; Run
+// converts the panic into a structured failure.
 func (p *Proc) Recv(from int, tag string) Message {
-	start := time.Now()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for {
-		for i, msg := range p.mailbox {
-			if msg.From == from && msg.Tag == tag {
-				p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
-				p.recorded(msg, start)
-				return msg
-			}
-		}
-		if p.poisoned {
-			panic(poisonError(p.poisonMsg))
-		}
-		p.m.parked.Add(1)
-		p.cond.Wait()
-		p.m.parked.Add(-1)
-		p.m.progress.Add(1)
+	msg, ok := p.recv(waitRecv, from, tag, p.m.deadline)
+	if !ok {
+		panic(fmt.Sprintf("machine: Recv(from=%d, tag=%q) exceeded machine deadline %v",
+			from, tag, p.m.deadline))
 	}
+	return msg
 }
 
-// RecvAny blocks until any message with the given tag arrives.
+// RecvAny blocks until any message with the given tag arrives. The
+// machine-wide deadline applies as in Recv.
 func (p *Proc) RecvAny(tag string) Message {
+	msg, ok := p.recv(waitRecvAny, -1, tag, p.m.deadline)
+	if !ok {
+		panic(fmt.Sprintf("machine: RecvAny(tag=%q) exceeded machine deadline %v",
+			tag, p.m.deadline))
+	}
+	return msg
+}
+
+// RecvTimeout is Recv with a per-call deadline: it returns ok=false if
+// no matching message arrives within d, letting the caller degrade
+// gracefully instead of hanging. d ≤ 0 polls the mailbox without
+// blocking. A message that arrives after the timeout stays in the
+// mailbox for a later receive.
+func (p *Proc) RecvTimeout(from int, tag string, d time.Duration) (Message, bool) {
+	if d <= 0 {
+		d = -1 // recv treats a negative deadline as a non-blocking poll
+	}
+	return p.recv(waitRecv, from, tag, d)
+}
+
+// RecvAnyTimeout is RecvAny with a per-call deadline; see RecvTimeout.
+func (p *Proc) RecvAnyTimeout(tag string, d time.Duration) (Message, bool) {
+	if d <= 0 {
+		d = -1
+	}
+	return p.recv(waitRecvAny, -1, tag, d)
+}
+
+// recv is the shared receive loop. kind selects source matching (Recv)
+// or any-sender matching (RecvAny). d > 0 bounds the wait; d == 0 waits
+// forever; d < 0 polls. Returns ok=false on deadline expiry.
+func (p *Proc) recv(kind waitKind, from int, tag string, d time.Duration) (Message, bool) {
 	start := time.Now()
+	p.faultStep()
+	var deadline time.Time
+	if d != 0 {
+		deadline = start.Add(d)
+		if d > 0 {
+			// The timer broadcast wakes this processor so the expiry check
+			// below runs even if no message ever arrives.
+			timer := time.AfterFunc(d, p.cond.Broadcast)
+			defer timer.Stop()
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.waitKind, p.waitFrom, p.waitTag, p.waitSince = kind, from, tag, start
+	defer func() { p.waitKind = waitNone }()
 	for {
 		for i, msg := range p.mailbox {
-			if msg.Tag == tag {
-				p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+			if (kind != waitRecv || msg.From == from) && msg.Tag == tag {
+				copy(p.mailbox[i:], p.mailbox[i+1:])
+				last := len(p.mailbox) - 1
+				// Zero the vacated tail slot so the backing array does not
+				// pin the delivered payload (or the shifted copies' slices)
+				// until some later send overwrites it.
+				p.mailbox[last] = Message{}
+				p.mailbox = p.mailbox[:last]
 				p.recorded(msg, start)
-				return msg
+				return msg, true
 			}
 		}
 		if p.poisoned {
 			panic(poisonError(p.poisonMsg))
+		}
+		if d != 0 && !time.Now().Before(deadline) {
+			telRecvTimeouts.Inc()
+			return Message{}, false
 		}
 		p.m.parked.Add(1)
 		p.cond.Wait()
@@ -288,6 +426,15 @@ func (p *Proc) recorded(msg Message, start time.Time) {
 // Barrier blocks until every processor has reached it.
 func (p *Proc) Barrier() {
 	start := time.Now()
+	p.faultStep()
+	p.mu.Lock()
+	p.waitKind, p.waitSince = waitBarrier, start
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.waitKind = waitNone
+		p.mu.Unlock()
+	}()
 	p.m.barrier.await()
 	wait := time.Since(start).Nanoseconds()
 	telBarrierNs.Observe(wait)
@@ -316,6 +463,7 @@ func (p *Proc) poisonWith(msg string) {
 func (p *Proc) unpoison() {
 	p.mu.Lock()
 	p.poisoned = false
+	p.waitKind = waitNone
 	p.mu.Unlock()
 }
 

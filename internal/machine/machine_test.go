@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -382,5 +383,227 @@ func TestNoFalseDeadlockUnderChatter(t *testing.T) {
 			}
 		}
 		p.Barrier()
+	})
+}
+
+// TestRecvReleasesMailboxSlot is the regression test for the slice-delete
+// retention bug: deleting mailbox entry i with append(box[:i], box[i+1:]...)
+// left the vacated tail slot holding the last message's payload slices,
+// pinning delivered payloads until some later send overwrote the slot.
+func TestRecvReleasesMailboxSlot(t *testing.T) {
+	m := MustNew(2)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, "a", make([]float64, 4096), []int64{1, 2, 3})
+			p.Send(1, "b", make([]float64, 4096), []int64{4, 5, 6})
+			p.Send(1, "c", make([]float64, 4096), nil)
+		} else {
+			// Receive out of order so deletions happen at interior indexes too.
+			p.Recv(0, "b")
+			p.Recv(0, "a")
+			p.Recv(0, "c")
+		}
+	})
+	box := m.procs[1].mailbox
+	if len(box) != 0 {
+		t.Fatalf("mailbox should be empty, has %d messages", len(box))
+	}
+	for i, msg := range box[:cap(box)] {
+		if msg.Data != nil || msg.Ints != nil {
+			t.Errorf("vacated mailbox slot %d still pins payload (Data=%v Ints=%v)",
+				i, msg.Data != nil, msg.Ints != nil)
+		}
+	}
+}
+
+// TestPoisonWakesAllWaitSites checks the poison path across every
+// blocking wait: a rank that panics while peers are parked in Recv,
+// RecvAny or Barrier must wake and poison all of them, and Run must
+// report the root cause.
+func TestPoisonWakesAllWaitSites(t *testing.T) {
+	cases := []struct {
+		name string
+		wait func(p *Proc)
+	}{
+		{"Recv", func(p *Proc) { p.Recv(0, "never-sent") }},
+		{"RecvAny", func(p *Proc) { p.RecvAny("never-sent") }},
+		{"Barrier", func(p *Proc) { p.Barrier() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MustNew(4)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s waiters: expected Run to panic", tc.name)
+				}
+				if !strings.Contains(r.(string), "boom-"+tc.name) {
+					t.Errorf("panic %q does not name the root cause", r)
+				}
+			}()
+			m.Run(func(p *Proc) {
+				if p.Rank() == 1 {
+					panic("boom-" + tc.name)
+				}
+				tc.wait(p)
+			})
+		})
+	}
+}
+
+// TestWatchdogNamesEveryParkedRank asserts the acceptance criterion: a
+// deliberately omitted Send aborts within the configured window and the
+// error names every parked rank with its wait site.
+func TestWatchdogNamesEveryParkedRank(t *testing.T) {
+	m := MustNew(3)
+	m.SetQuiescence(15 * time.Millisecond)
+	start := time.Now()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("watchdog took %v, far beyond the configured window", elapsed)
+		}
+		msg := r.(string)
+		for _, want := range []string{
+			"deadlock",
+			`rank 0 parked in Recv(from=1, tag="halo-left")`,
+			`rank 1 parked in RecvAny(tag="gather")`,
+			"rank 2 parked in Barrier",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("diagnostic %q missing %q", msg, want)
+			}
+		}
+	}()
+	m.Run(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Recv(1, "halo-left")
+		case 1:
+			p.RecvAny("gather")
+		case 2:
+			p.Barrier()
+		}
+	})
+}
+
+// TestWatchdogCatchesExitedPeerDeadlock: a rank that returns without
+// sending leaves its peer parked forever; the watchdog must treat
+// "all live ranks parked" as deadlock even though one rank exited.
+func TestWatchdogCatchesExitedPeerDeadlock(t *testing.T) {
+	m := MustNew(2)
+	m.SetQuiescence(15 * time.Millisecond)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if !strings.Contains(r.(string), `rank 0 parked in Recv(from=1, tag="gone")`) {
+			t.Errorf("diagnostic %q does not name the surviving waiter", r)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Recv(1, "gone")
+		}
+		// Rank 1 exits immediately without sending.
+	})
+}
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	m := MustNew(2)
+	var timedOut atomic.Bool
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			if _, ok := p.RecvTimeout(1, "never", 20*time.Millisecond); !ok {
+				timedOut.Store(true)
+			}
+		}
+	})
+	if !timedOut.Load() {
+		t.Error("RecvTimeout should report expiry")
+	}
+}
+
+func TestRecvTimeoutDelivers(t *testing.T) {
+	m := MustNew(2)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			msg, ok := p.RecvTimeout(1, "late", 5*time.Second)
+			if !ok || msg.Data[0] != 7 {
+				t.Errorf("RecvTimeout = %+v, %v; want delivery", msg, ok)
+			}
+		} else {
+			time.Sleep(5 * time.Millisecond)
+			p.Send(0, "late", []float64{7}, nil)
+		}
+	})
+}
+
+func TestRecvTimeoutPoll(t *testing.T) {
+	m := MustNew(2)
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			if _, ok := p.RecvTimeout(1, "nope", 0); ok {
+				t.Error("empty-mailbox poll should miss")
+			}
+			msg := p.Recv(1, "yes")
+			if got, ok := p.RecvTimeout(1, "yes2", -1); ok || got.Tag != "" {
+				t.Error("negative-deadline poll should miss")
+			}
+			_ = msg
+		} else {
+			p.Send(0, "yes", []float64{1}, nil)
+		}
+	})
+}
+
+func TestRecvAnyTimeout(t *testing.T) {
+	m := MustNew(3)
+	var got atomic.Int64
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			for {
+				if _, ok := p.RecvAnyTimeout("burst", 20*time.Millisecond); !ok {
+					return
+				}
+				got.Add(1)
+			}
+		}
+		p.Send(0, "burst", nil, nil)
+	})
+	if got.Load() != 2 {
+		t.Errorf("received %d burst messages, want 2", got.Load())
+	}
+}
+
+// TestMachineDeadlineConvertsHangToFailure: WithDeadline turns a Recv
+// that would hang into a structured panic naming the wait site.
+func TestMachineDeadlineConvertsHangToFailure(t *testing.T) {
+	m := MustNew(2)
+	m.SetQuiescence(10 * time.Second) // keep the watchdog out of this test
+	m.WithDeadline(25 * time.Millisecond)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadline panic")
+		}
+		msg := r.(string)
+		if !strings.Contains(msg, `Recv(from=1, tag="never")`) || !strings.Contains(msg, "deadline") {
+			t.Errorf("panic %q should name the wait site and the deadline", msg)
+		}
+		if !strings.Contains(msg, "processor 0") {
+			t.Errorf("panic %q should name the timed-out rank", msg)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Recv(1, "never")
+		} else {
+			p.Barrier() // parked peer must be woken by the poison cascade
+		}
 	})
 }

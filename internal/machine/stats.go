@@ -40,6 +40,18 @@ var (
 	telBarrierNs    = telemetry.Default().Histogram("machine.barrier_wait_ns")
 )
 
+// Robustness-layer telemetry: injected faults by kind, watchdog trips,
+// and receives that gave up at a deadline (see README, Robustness).
+var (
+	telFaultsDropped    = telemetry.Default().Counter("machine.faults.dropped")
+	telFaultsDuplicated = telemetry.Default().Counter("machine.faults.duplicated")
+	telFaultsDelayed    = telemetry.Default().Counter("machine.faults.delayed")
+	telFaultsReordered  = telemetry.Default().Counter("machine.faults.reordered")
+	telFaultsCrashes    = telemetry.Default().Counter("machine.faults.crashes")
+	telWatchdogTrips    = telemetry.Default().Counter("machine.watchdog.trips")
+	telRecvTimeouts     = telemetry.Default().Counter("machine.recv_timeouts")
+)
+
 // Stats returns a snapshot of processor rank's traffic counters.
 func (m *Machine) Stats(rank int) Stats {
 	p := m.procs[rank]

@@ -22,6 +22,7 @@
 package plancache
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -184,14 +185,23 @@ func (c *Cache[K, V]) Snapshot() []Stats {
 // in the process-wide telemetry registry under
 // plancache.<name>.{hits,misses,evictions,entries}, so registry dumps
 // (hpfsim -metrics, benchtables -json, the examples) carry every
-// cache's hit rates without bespoke reporting code.
-func (c *Cache[K, V]) Register(name string) {
+// cache's hit rates without bespoke reporting code. A name already
+// registered — by this cache or any other — is an error: two caches
+// sharing a name would silently shadow each other's gauges.
+func (c *Cache[K, V]) Register(name string) error {
 	r := telemetry.Default()
 	prefix := "plancache." + name + "."
-	r.RegisterGaugeFunc(prefix+"hits", func() int64 { return c.Stats().Hits })
-	r.RegisterGaugeFunc(prefix+"misses", func() int64 { return c.Stats().Misses })
-	r.RegisterGaugeFunc(prefix+"evictions", func() int64 { return c.Stats().Evictions })
-	r.RegisterGaugeFunc(prefix+"entries", func() int64 { return c.Stats().Entries })
+	for suffix, f := range map[string]func() int64{
+		"hits":      func() int64 { return c.Stats().Hits },
+		"misses":    func() int64 { return c.Stats().Misses },
+		"evictions": func() int64 { return c.Stats().Evictions },
+		"entries":   func() int64 { return c.Stats().Entries },
+	} {
+		if err := r.RegisterGaugeFunc(prefix+suffix, f); err != nil {
+			return fmt.Errorf("plancache: register %q: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Reset drops every entry and zeroes the counters.

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func intHash(k int64) uint64 { return Mix(Seed, k) }
@@ -228,5 +230,30 @@ func TestMixSpreads(t *testing.T) {
 	}
 	if len(seen) < 2 {
 		t.Fatal("Mix maps all small keys to one shard")
+	}
+}
+
+// TestRegisterDuplicateName is the regression test for the silent
+// gauge-shadowing bug: two caches registering the same telemetry name
+// used to overwrite each other's computed gauges without complaint.
+func TestRegisterDuplicateName(t *testing.T) {
+	a := New[int64, int64](8, func(k int64) uint64 { return Mix(Seed, k) })
+	b := New[int64, int64](8, func(k int64) uint64 { return Mix(Seed, k) })
+	if err := a.Register("dup.test"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, suffix := range []string{"hits", "misses", "evictions", "entries"} {
+			telemetry.Default().UnregisterGaugeFunc("plancache.dup.test." + suffix)
+		}
+	}()
+	if err := b.Register("dup.test"); err == nil {
+		t.Fatal("second Register of the same name should fail")
+	}
+	// The first cache's gauges must still be the ones published.
+	a.Put(1, 1)
+	a.Get(1)
+	if got := telemetry.Default().Snapshot().Gauges["plancache.dup.test.hits"]; got != 1 {
+		t.Errorf("published hits = %d, want 1 (cache a's counter)", got)
 	}
 }

@@ -17,7 +17,11 @@ func hashTableKey(k TableKey) uint64 {
 // iterative solvers use a handful.
 var tables = New[TableKey, *core.TableSet](256, hashTableKey)
 
-func init() { tables.Register("core.tables") }
+func init() {
+	if err := tables.Register("core.tables"); err != nil {
+		panic(err)
+	}
+}
 
 // Tables returns the memoized core.TableSet for (p, k, l, s),
 // constructing it on first use. Iteration 2..N of a solver loop finds

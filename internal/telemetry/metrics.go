@@ -251,11 +251,28 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // RegisterGaugeFunc registers a gauge whose value is computed at
 // snapshot time by calling f — the bridge for subsystems that already
-// keep their own counters (e.g. plan-cache shards). Re-registering a
-// name replaces the previous function.
-func (r *Registry) RegisterGaugeFunc(name string, f func() int64) {
+// keep their own counters (e.g. plan-cache shards). Registering a name
+// that is already a computed or plain gauge returns an error instead of
+// silently shadowing the earlier metric.
+func (r *Registry) RegisterGaugeFunc(name string, f func() int64) error {
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.gaugeFuncs[name]; dup {
+		return fmt.Errorf("telemetry: gauge func %q already registered", name)
+	}
+	if _, dup := r.gauges[name]; dup {
+		return fmt.Errorf("telemetry: gauge %q already exists; cannot shadow it with a gauge func", name)
+	}
 	r.gaugeFuncs[name] = f
+	return nil
+}
+
+// UnregisterGaugeFunc removes a computed gauge, freeing its name for
+// re-registration — the teardown half of RegisterGaugeFunc for
+// subsystems with bounded lifetimes (tests, per-run caches).
+func (r *Registry) UnregisterGaugeFunc(name string) {
+	r.mu.Lock()
+	delete(r.gaugeFuncs, name)
 	r.mu.Unlock()
 }
 

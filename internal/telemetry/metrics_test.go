@@ -75,11 +75,42 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestRegisterGaugeFuncDuplicate is the regression test for the silent
+// shadowing bug: registering the same name twice used to replace the
+// first function, so one subsystem's gauges could mask another's.
+func TestRegisterGaugeFuncDuplicate(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterGaugeFunc("x.v", func() int64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterGaugeFunc("x.v", func() int64 { return 2 }); err == nil {
+		t.Fatal("duplicate gauge func registration should fail")
+	}
+	if got := r.Snapshot().Gauges["x.v"]; got != 1 {
+		t.Errorf("first registration shadowed: got %d, want 1", got)
+	}
+	// A computed gauge may not shadow an existing plain gauge either.
+	r.Gauge("y.v").Set(5)
+	if err := r.RegisterGaugeFunc("y.v", func() int64 { return 6 }); err == nil {
+		t.Fatal("gauge func over plain gauge should fail")
+	}
+	// Unregistering frees the name.
+	r.UnregisterGaugeFunc("x.v")
+	if err := r.RegisterGaugeFunc("x.v", func() int64 { return 3 }); err != nil {
+		t.Fatalf("re-registration after unregister: %v", err)
+	}
+	if got := r.Snapshot().Gauges["x.v"]; got != 3 {
+		t.Errorf("after re-registration: got %d, want 3", got)
+	}
+}
+
 func TestRegistryJSONRoundTrip(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a.count").Add(7)
 	r.Gauge("b.gauge").Set(-3)
-	r.RegisterGaugeFunc("c.computed", func() int64 { return 42 })
+	if err := r.RegisterGaugeFunc("c.computed", func() int64 { return 42 }); err != nil {
+		t.Fatal(err)
+	}
 	h := r.Histogram("d.hist")
 	h.Observe(1)
 	h.Observe(100)
