@@ -7,6 +7,7 @@
 //	benchtables -cache                # plan-cache cold vs warm families
 //	benchtables -all                  # everything
 //	benchtables -all -json out.json   # also write machine-readable results
+//	benchtables -all -http :8080      # live /metrics, /trace, /healthz during the runs
 //
 // Times are wall-clock microseconds on the current host; compare shapes
 // and ratios with the paper, not absolute values (see EXPERIMENTS.md).
@@ -15,8 +16,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -39,6 +42,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "write machine-readable results to this file")
 		trace     = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 		metrics   = flag.Bool("metrics", false, "dump the telemetry registry as telemetry/v1 JSON after the run")
+		httpAddr  = flag.String("http", "", "serve /metrics (Prometheus), /trace (trace/v1) and /healthz on this address during the runs")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		faults    = flag.String("faults", "", "inject seeded message faults into every benchmark machine: seed=<n>,drop=<p>,dup=<p>,reorder=<p>,delay=<p>[:<dur>],crash=<rank>@<step>")
 		deadline  = flag.Duration("deadline", 0, "per-receive deadline: a Recv blocked longer than this fails the run instead of hanging")
@@ -48,7 +52,7 @@ func main() {
 		Table: *table, Figure: *figure, Cache: *cache, All: *all,
 		Procs: *procs, Reps: *reps, Elems: *elems, JSONPath: *jsonPath,
 		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprofAddr,
-		FaultSpec: *faults, Deadline: *deadline,
+		HTTPAddr: *httpAddr, FaultSpec: *faults, Deadline: *deadline,
 	}
 	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
@@ -66,6 +70,7 @@ type config struct {
 	TracePath     string
 	Metrics       bool
 	PprofAddr     string
+	HTTPAddr      string
 	FaultSpec     string
 	Deadline      time.Duration
 }
@@ -188,6 +193,21 @@ func runConfig(cfg config) error {
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "benchtables: pprof on http://%s/debug/pprof/\n", cfg.PprofAddr)
+	}
+	if cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("cannot serve on -http address: %w", err)
+		}
+		defer ln.Close()
+		go func() {
+			srv := &http.Server{Handler: telemetry.Handler()}
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "benchtables: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "benchtables: serving /metrics, /trace, /healthz on http://%s/\n", ln.Addr())
 	}
 	// Benchmark machines are created inside internal/bench, so the fault
 	// plan and deadline are installed as machine-wide defaults for the

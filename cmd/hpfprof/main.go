@@ -1,0 +1,88 @@
+// Command hpfprof analyzes a trace written by the simulated machine and
+// reports where the wall-clock time went: the causal critical path with
+// every blocking wait attributed to the peer operation that ended it, a
+// per-rank time breakdown, the communication matrix, and load-imbalance
+// statistics.
+//
+// It accepts both trace containers the tools produce and auto-detects
+// which one it was given:
+//
+//	hpfsim -trace trace.json && hpfprof trace.json      # Chrome trace_event JSON
+//	curl -s localhost:8080/trace | hpfprof -            # trace/v1 from a live run
+//	hpfprof -json trace.json > report.json              # machine-readable (hpfprof/v1)
+//	hpfprof -top 3 trace.json                           # shorter tables
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/traceanalysis"
+)
+
+// ReportSchema tags the -json output so downstream consumers can
+// detect format drift.
+const ReportSchema = "hpfprof/v1"
+
+func main() {
+	var (
+		top      = flag.Int("top", 10, "rows to show in the per-operation tables (0 = all)")
+		jsonOut  = flag.Bool("json", false, "emit the full analysis as "+ReportSchema+" JSON instead of text")
+		maxSteps = flag.Int("steps", 0, "with -json, cap critical_path.steps at this many entries (0 = all; totals and by_op stay complete)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: hpfprof [flags] <trace-file>\n\nAnalyzes a trace/v1 or Chrome trace_event JSON file (\"-\" reads stdin).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, os.Stderr, flag.Arg(0), *top, *maxSteps, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "hpfprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w, ew io.Writer, path string, top, maxSteps int, jsonOut bool) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := traceanalysis.Load(r)
+	if err != nil {
+		return err
+	}
+	a, err := traceanalysis.Analyze(tr)
+	if err != nil {
+		return err
+	}
+	if !jsonOut {
+		return a.WriteText(w, top)
+	}
+	// The text report embeds its truncation warning; the JSON path keeps
+	// stdout machine-readable and shouts on stderr instead.
+	if a.Dropped > 0 {
+		fmt.Fprintf(ew, "hpfprof: WARNING: trace rings overwrote %d events; the analysis only covers the end of the run\n", a.Dropped)
+	}
+	if maxSteps > 0 && len(a.CriticalPath.Steps) > maxSteps {
+		a.CriticalPath.Steps = a.CriticalPath.Steps[:maxSteps]
+	}
+	doc := struct {
+		Schema string `json:"schema"`
+		*traceanalysis.Analysis
+	}{ReportSchema, a}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

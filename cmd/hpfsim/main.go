@@ -8,14 +8,17 @@
 //	hpfsim -p 4 -k 8 -n 320
 //	hpfsim -trace trace.json      # per-rank Chrome trace (chrome://tracing, Perfetto)
 //	hpfsim -metrics               # dump the telemetry registry (telemetry/v1 JSON)
+//	hpfsim -http localhost:8080 -linger 30s   # serve /metrics, /trace, /healthz
 //	hpfsim -pprof localhost:6060  # serve net/http/pprof during the run
 //	hpfsim -faults seed=3,delay=0.2:200us,reorder=0.2   # seeded chaos run
 //	hpfsim -deadline 2s           # blocked receives fail instead of hanging
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -38,6 +41,8 @@ func main() {
 		n        = flag.Int64("n", 320, "array size")
 		trace    = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 		metrics  = flag.Bool("metrics", false, "dump the telemetry registry as telemetry/v1 JSON after the run")
+		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /trace (trace/v1) and /healthz on this address (e.g. localhost:8080)")
+		linger   = flag.Duration("linger", 0, "keep the -http server (and the trace) alive this long after the run, for scraping")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		faults   = flag.String("faults", "", "inject seeded message faults: seed=<n>,drop=<p>,dup=<p>,reorder=<p>,delay=<p>[:<dur>],crash=<rank>@<step>")
 		deadline = flag.Duration("deadline", 0, "per-receive deadline: a Recv blocked longer than this fails the run instead of hanging")
@@ -45,6 +50,7 @@ func main() {
 	flag.Parse()
 	cfg := config{P: *p, K: *k, K2: *k2, N: *n,
 		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
+		HTTPAddr: *httpAddr, Linger: *linger,
 		FaultSpec: *faults, Deadline: *deadline}
 	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hpfsim:", err)
@@ -57,8 +63,15 @@ type config struct {
 	TracePath   string
 	Metrics     bool
 	PprofAddr   string
+	HTTPAddr    string
+	Linger      time.Duration
 	FaultSpec   string
 	Deadline    time.Duration
+
+	// afterRun, when set, is called with the -http server's bound
+	// address after the workload finishes but before the linger sleep
+	// and trace shutdown — the window tests use to scrape endpoints.
+	afterRun func(addr string)
 }
 
 // traceCapacity retains plenty of events per rank for the demo workload
@@ -94,10 +107,43 @@ func runConfig(cfg config) error {
 		}()
 		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", cfg.PprofAddr)
 	}
-	if traceFile != nil {
+	// The live endpoints bind through net.Listen so ":0" works (the
+	// bound address is printed); the run is traced whenever anything can
+	// observe it — a -trace file or a /trace scraper.
+	var httpLn net.Listener
+	if cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			if traceFile != nil {
+				traceFile.Close()
+				os.Remove(cfg.TracePath)
+			}
+			return fmt.Errorf("cannot serve on -http address: %w", err)
+		}
+		httpLn = ln
+		defer ln.Close()
+		go func() {
+			srv := &http.Server{Handler: telemetry.Handler()}
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "hpfsim: http:", err)
+			}
+		}()
+		fmt.Printf("http: serving /metrics, /trace, /healthz on http://%s/\n", ln.Addr())
+	}
+	if traceFile != nil || httpLn != nil {
 		telemetry.StartTracing(int(cfg.P), traceCapacity)
+		defer telemetry.StopTracing()
 	}
 	runErr := run(cfg, faults)
+	if httpLn != nil && runErr == nil {
+		if cfg.afterRun != nil {
+			cfg.afterRun(httpLn.Addr().String())
+		}
+		if cfg.Linger > 0 {
+			fmt.Printf("http: lingering %v for scrapers (ctrl-c to stop early)\n", cfg.Linger)
+			time.Sleep(cfg.Linger)
+		}
+	}
 	if traceFile != nil {
 		t := telemetry.StopTracing()
 		if t == nil || runErr != nil {

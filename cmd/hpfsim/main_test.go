@@ -2,10 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestRunDefault(t *testing.T) {
@@ -72,6 +76,57 @@ func TestTraceOutput(t *testing.T) {
 	}
 	if ranks < p {
 		t.Errorf("trace has %d rank timelines, want at least %d", ranks, p)
+	}
+}
+
+// TestHTTPEndpoints runs the demo with the live exposition server on an
+// ephemeral port and scrapes all three endpoints in the window between
+// the workload and trace shutdown.
+func TestHTTPEndpoints(t *testing.T) {
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	scraped := false
+	cfg := config{P: 4, K: 8, K2: 5, N: 320, HTTPAddr: "127.0.0.1:0",
+		afterRun: func(addr string) {
+			scraped = true
+			if code, body := get("http://" + addr + "/metrics"); code != 200 ||
+				!strings.Contains(body, "machine_messages_sent") {
+				t.Errorf("/metrics = %d:\n%s", code, body)
+			}
+			if code, body := get("http://" + addr + "/healthz"); code != 200 ||
+				!strings.Contains(body, `"tracing":true`) {
+				t.Errorf("/healthz = %d: %s", code, body)
+			}
+			code, body := get("http://" + addr + "/trace")
+			if code != 200 {
+				t.Fatalf("/trace = %d", code)
+			}
+			doc, err := telemetry.ReadTraceV1(strings.NewReader(body))
+			if err != nil {
+				t.Fatalf("/trace is not trace/v1: %v", err)
+			}
+			if doc.Ranks != 4 || len(doc.Events) == 0 {
+				t.Errorf("trace doc: ranks %d, %d events", doc.Ranks, len(doc.Events))
+			}
+		}}
+	if err := runConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !scraped {
+		t.Fatal("afterRun hook never ran")
+	}
+	// An unbindable address fails loudly before any work runs.
+	if err := runConfig(config{P: 4, K: 8, K2: 5, N: 320, HTTPAddr: "256.0.0.1:bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "-http") {
+		t.Errorf("bad -http address error = %v, want one naming the flag", err)
 	}
 }
 

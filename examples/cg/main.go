@@ -15,9 +15,11 @@
 // verifies the residual and the recovered x.
 //
 //	go run ./examples/cg
+//	go run ./examples/cg -p 8 -n 512 -trace cg.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -32,10 +34,12 @@ import (
 	"repro/internal/telemetry"
 )
 
-const (
-	procs = 4
-	k     = 8
-	n     = 256 // multiple of procs*k so halos cover whole blocks
+var (
+	procs = flag.Int64("p", 4, "number of processors")
+	k     = flag.Int64("k", 8, "block size of the cyclic(k) distribution")
+	// n must stay a multiple of p*k so halos cover whole blocks.
+	n     = flag.Int64("n", 256, "unknowns (must be a multiple of p*k)")
+	trace = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 )
 
 // matvec computes y = A·p for the tridiagonal Poisson matrix, using one
@@ -113,8 +117,16 @@ func xpay(m *machine.Machine, r, p *hpf.Array, beta float64) error {
 }
 
 func main() {
+	flag.Parse()
+	procs, k, n := *procs, *k, *n
+	if n%(procs*k) != 0 {
+		log.Fatalf("-n %d must be a multiple of p*k = %d", n, procs*k)
+	}
+	if *trace != "" {
+		telemetry.StartTracing(int(procs), 1<<15)
+	}
 	layout := dist.MustNew(procs, k)
-	m := machine.MustNew(procs)
+	m := machine.MustNew(int(procs))
 
 	// Manufactured solution exciting many eigenmodes (a single sine mode
 	// would be an eigenvector and converge in one step).
@@ -139,7 +151,7 @@ func main() {
 	}
 
 	rr := dot(m, r, r)
-	iters := 0
+	iters := int64(0)
 	for ; iters < n && math.Sqrt(rr) > 1e-10; iters++ {
 		if err := matvec(m, ap, p); err != nil {
 			log.Fatal(err)
@@ -174,5 +186,20 @@ func main() {
 	fmt.Printf("\ntelemetry registry for this run:\n")
 	if err := telemetry.Default().WriteText(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+
+	if *trace != "" {
+		t := telemetry.StopTracing()
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace: wrote %s (analyze with: go run ./cmd/hpfprof %s)\n", *trace, *trace)
 	}
 }

@@ -14,9 +14,11 @@
 // the linear profile the boundary conditions dictate.
 //
 //	go run ./examples/jacobi
+//	go run ./examples/jacobi -p 8 -sweeps 1000 -trace jacobi.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -30,16 +32,27 @@ import (
 	"repro/internal/telemetry"
 )
 
-const (
-	n      = 64
-	procs  = 4
-	k      = 4
-	sweeps = 4000
-)
-
 func main() {
+	var (
+		procs  = flag.Int64("p", 4, "number of processors")
+		k      = flag.Int64("k", 4, "block size of the cyclic(k) distribution")
+		n      = flag.Int64("n", 64, "array size")
+		sweeps = flag.Int("sweeps", 4096, "relaxation sweeps")
+		trace  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	)
+	flag.Parse()
+	run(*procs, *k, *n, *sweeps, *trace)
+}
+
+func run(procs, k, n int64, sweeps int, tracePath string) {
+	if n < 3 {
+		log.Fatal("need -n >= 3 for an interior")
+	}
+	if tracePath != "" {
+		telemetry.StartTracing(int(procs), 1<<15)
+	}
 	layout := dist.MustNew(procs, k)
-	m := machine.MustNew(procs)
+	m := machine.MustNew(int(procs))
 
 	x := hpf.MustNewArray(layout, n)
 	tmp := hpf.MustNewArray(layout, n)
@@ -96,10 +109,17 @@ func main() {
 		worst = math.Max(worst, math.Abs(x.Get(i)-float64(i)/float64(n-1)))
 	}
 	fmt.Printf("\nafter %d sweeps: max deviation from linear profile = %.4f\n", sweeps, worst)
-	if worst > 0.05 {
-		log.Fatal("solver failed to converge")
+	// Jacobi needs O(n²) sweeps to propagate the boundary values across
+	// the domain; only assert convergence when the run was long enough.
+	if int64(sweeps) >= n*n {
+		if worst > 0.05 {
+			log.Fatal("solver failed to converge")
+		}
+		fmt.Println("verified: distributed Jacobi tracks the sequential solver and converges")
+	} else {
+		fmt.Printf("(%d sweeps < n² = %d: convergence not asserted, per-sweep verification still exact)\n",
+			sweeps, n*n)
 	}
-	fmt.Println("verified: distributed Jacobi tracks the sequential solver and converges")
 
 	// Every sweep issues the same three array assignments; the runtime
 	// plans them once and then serves sweeps 2..N from the caches. The
@@ -108,5 +128,20 @@ func main() {
 	fmt.Printf("\ntelemetry registry for this run:\n")
 	if err := telemetry.Default().WriteText(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+
+	if tracePath != "" {
+		t := telemetry.StopTracing()
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace: wrote %s (analyze with: go run ./cmd/hpfprof %s)\n", tracePath, tracePath)
 	}
 }

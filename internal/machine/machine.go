@@ -27,9 +27,18 @@ import (
 // Message is a tagged point-to-point message. Payloads carry float64
 // array data and/or int64 metadata; Tag disambiguates concurrent
 // conversations (like MPI tags).
+//
+// Seq is the per-(From, To, Tag) FIFO sequence number Send assigned:
+// the first message on a given (sender, receiver, tag) channel is 1,
+// and FIFO delivery guarantees a receiver consumes each channel in
+// sequence order. Trace events carry it, which is what lets the
+// trace-analysis layer match every recv to the exact send that
+// produced it (fault injection may duplicate or drop a Seq; it is
+// never reassigned).
 type Message struct {
 	From, To int
 	Tag      string
+	Seq      int64
 	Data     []float64
 	Ints     []int64
 }
@@ -236,6 +245,12 @@ type Proc struct {
 	ops   int64
 	frand *faultRand
 
+	// seqs assigns per-(destination, tag) FIFO sequence numbers to sent
+	// messages. Touched only by this processor's goroutine; persists
+	// across Run calls (like mailboxes) so numbers stay unique for the
+	// machine's lifetime.
+	seqs map[seqKey]int64
+
 	stats statCounters
 }
 
@@ -280,18 +295,44 @@ func (p *Proc) Send(to int, tag string, data []float64, ints []int64) {
 	telMessagesSent.Inc()
 	telValuesSent.Add(int64(len(data)))
 	telSendBytes.Observe(int64(len(data)) * 8)
-	if tr := telemetry.ActiveTracer(); tr != nil {
+	p.m.progress.Add(1)
+	msg := Message{From: p.rank, To: to, Tag: tag, Seq: p.nextSeq(to, tag), Data: data, Ints: ints}
+	tr := telemetry.ActiveTracer()
+	var t0 int64
+	if tr != nil {
+		t0 = tr.Now()
+	}
+	if fp := p.m.faults; fp == nil || !p.injectSendFault(fp, op, msg) {
+		p.deliver(to, msg, false)
+	}
+	if tr != nil {
+		// Recorded after delivery so the event spans the actual mailbox
+		// hand-off — a real slice viewers and the critical-path walker can
+		// anchor the send→recv flow edge to.
 		tr.Record(telemetry.Event{
 			Kind: telemetry.KindSend, Name: tag, Rank: int32(p.rank),
-			Peer: int32(to), Bytes: int64(len(data)) * 8, Start: tr.Now(),
+			Peer: int32(to), Bytes: int64(len(data)) * 8, Seq: msg.Seq,
+			Start: t0, Dur: tr.Now() - t0,
 		})
 	}
-	p.m.progress.Add(1)
-	msg := Message{From: p.rank, To: to, Tag: tag, Data: data, Ints: ints}
-	if fp := p.m.faults; fp != nil && p.injectSendFault(fp, op, msg) {
-		return
+}
+
+// seqKey identifies one FIFO message channel out of a processor.
+type seqKey struct {
+	to  int
+	tag string
+}
+
+// nextSeq returns the next sequence number for messages to rank `to`
+// with the given tag (first message is 1). Touched only by this
+// processor's goroutine, like the fault-injection state.
+func (p *Proc) nextSeq(to int, tag string) int64 {
+	if p.seqs == nil {
+		p.seqs = make(map[seqKey]int64)
 	}
-	p.deliver(to, msg, false)
+	k := seqKey{to: to, tag: tag}
+	p.seqs[k]++
+	return p.seqs[k]
 }
 
 // deliver appends msg to rank to's mailbox (or prepends it when front is
@@ -417,7 +458,7 @@ func (p *Proc) recorded(msg Message, start time.Time) {
 	if tr := telemetry.ActiveTracer(); tr != nil {
 		tr.Record(telemetry.Event{
 			Kind: telemetry.KindRecv, Name: msg.Tag, Rank: int32(p.rank),
-			Peer: int32(msg.From), Bytes: int64(len(msg.Data)) * 8,
+			Peer: int32(msg.From), Bytes: int64(len(msg.Data)) * 8, Seq: msg.Seq,
 			Start: tr.Now() - wait, Dur: wait,
 		})
 	}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus writes a snapshot of the registry in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms with cumulative le-labelled buckets plus _sum and
+// _count. Dotted metric names become underscore-separated
+// (machine.recv_wait_ns → machine_recv_wait_ns); computed gauges are
+// evaluated at write time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		pr("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		pr("# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		pr("# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			pr("%s_bucket{le=\"%d\"} %d\n", pn, b.Le, cum)
+		}
+		pr("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		pr("%s_sum %d\n", pn, h.Sum)
+		pr("%s_count %d\n", pn, h.Count)
+	}
+	return err
+}
+
+// promName maps a dotted metric name onto the Prometheus name charset
+// [a-zA-Z0-9_:], replacing every other rune with '_' and prefixing a
+// leading digit.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if c >= '0' && c <= '9' && i == 0 {
+			b.WriteByte('_')
+			ok = true
+		}
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Handler returns the live exposition surface served by the CLIs'
+// -http flag:
+//
+//	/metrics — the default registry in Prometheus text format
+//	/trace   — the active tracer's rings as a trace/v1 JSON document
+//	           (503 when tracing is off)
+//	/healthz — a small JSON health document
+//
+// All endpoints read live state: scraping during a run observes the
+// run in flight.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default().WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		t := ActiveTracer()
+		if t == nil {
+			http.Error(w, "tracing is not active", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteTraceV1(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		t := ActiveTracer()
+		doc := map[string]any{
+			"status":  "ok",
+			"tracing": t != nil,
+		}
+		if t != nil {
+			doc["ranks"] = t.Ranks()
+			doc["dropped_events"] = t.Dropped()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, _ := json.Marshal(doc)
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "endpoints: /metrics /trace /healthz\n")
+	})
+	return mux
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("machine.messages_sent").Add(7)
+	r.Gauge("plancache.comm-1d.entries").Set(3)
+	if err := r.RegisterGaugeFunc("trace.dropped_events", func() int64 { return 5 }); err != nil {
+		t.Fatal(err)
+	}
+	h := r.Histogram("machine.recv_wait_ns")
+	h.Observe(3)    // bucket le=3
+	h.Observe(3)    // bucket le=3
+	h.Observe(1000) // bucket le=1023
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE machine_messages_sent counter\nmachine_messages_sent 7\n",
+		"# TYPE plancache_comm_1d_entries gauge\nplancache_comm_1d_entries 3\n",
+		"trace_dropped_events 5\n",
+		"# TYPE machine_recv_wait_ns histogram\n",
+		"machine_recv_wait_ns_bucket{le=\"3\"} 2\n",
+		"machine_recv_wait_ns_bucket{le=\"1023\"} 3\n", // cumulative
+		"machine_recv_wait_ns_bucket{le=\"+Inf\"} 3\n",
+		"machine_recv_wait_ns_sum 1006\n",
+		"machine_recv_wait_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"machine.recv_wait_ns": "machine_recv_wait_ns",
+		"plancache.comm-1d":    "plancache_comm_1d",
+		"9lives":               "_9lives",
+		"ok_name:sub":          "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	Default().Counter("machine.messages_sent").Add(1)
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "machine_messages_sent") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %d: %s", code, body)
+	}
+	// No tracer active: /trace is 503.
+	if code, _ := get("/trace"); code != 503 {
+		t.Errorf("/trace without tracer = %d, want 503", code)
+	}
+	tr := StartTracing(2, 16)
+	defer StopTracing()
+	tr.Record(Event{Kind: KindSend, Name: "t", Rank: 0, Peer: 1, Seq: 1, Start: 5, Dur: 2})
+	code, body := get("/trace")
+	if code != 200 {
+		t.Fatalf("/trace with tracer = %d", code)
+	}
+	doc, err := ReadTraceV1(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/trace is not a trace/v1 document: %v", err)
+	}
+	if doc.Ranks != 2 || len(doc.Events) != 1 {
+		t.Errorf("trace doc = ranks %d events %d, want 2/1", doc.Ranks, len(doc.Events))
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}

@@ -74,6 +74,7 @@ type Histogram struct {
 	buckets [NumBuckets]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64
+	max     atomic.Int64
 }
 
 // bucketIndex returns the bucket an observation falls into.
@@ -101,6 +102,12 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
 }
 
 // Count returns the number of recorded samples.
@@ -108,6 +115,11 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of all recorded samples.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest non-negative sample recorded (0 before any
+// positive observation) — the exact counterpart to the bucketed
+// quantile upper bounds.
+func (h *Histogram) Max() int64 { return h.max.Load() }
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) of the
 // recorded samples: the upper boundary of the bucket the quantile falls
@@ -142,6 +154,7 @@ type Bucket struct {
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max"`
 	P50     int64    `json:"p50"`
 	P90     int64    `json:"p90"`
 	P99     int64    `json:"p99"`
@@ -155,6 +168,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count: h.count.Load(),
 		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
 		P99:   h.Quantile(0.99),
@@ -332,6 +346,7 @@ func (r *Registry) Reset() {
 		}
 		h.count.Store(0)
 		h.sum.Store(0)
+		h.max.Store(0)
 	}
 }
 
@@ -382,8 +397,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			if h.Count > 0 {
 				mean = h.Sum / h.Count
 			}
-			pr("  %-44s count=%d mean=%d p50≤%d p90≤%d p99≤%d\n",
-				name, h.Count, mean, h.P50, h.P90, h.P99)
+			pr("  %-44s count=%d mean=%d p50≤%d p90≤%d p99≤%d max=%d\n",
+				name, h.Count, mean, h.P50, h.P90, h.P99, h.Max)
 		}
 	}
 	return err

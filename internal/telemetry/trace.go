@@ -10,8 +10,9 @@ import (
 	"time"
 )
 
-// Kind classifies a trace event. Sends are instants (the simulated
-// machine's Send never blocks); the other kinds carry a duration.
+// Kind classifies a trace event. Every kind carries a duration: for
+// sends it is the (short) time spent delivering into the destination
+// mailbox, for receives and barriers the time spent blocked waiting.
 type Kind uint8
 
 const (
@@ -39,6 +40,23 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// KindFromString parses a category name produced by Kind.String.
+func KindFromString(s string) (Kind, bool) {
+	switch s {
+	case "span":
+		return KindSpan, true
+	case "send":
+		return KindSend, true
+	case "recv":
+		return KindRecv, true
+	case "barrier":
+		return KindBarrier, true
+	case "reduce":
+		return KindReduce, true
+	}
+	return KindSpan, false
+}
+
 // HostRank is the timeline for work that happens outside any SPMD body:
 // plan construction, cache fills, driver code.
 const HostRank = -1
@@ -46,14 +64,85 @@ const HostRank = -1
 // Event is one record on a rank's timeline. Start and Dur are
 // nanoseconds since the tracer's epoch; Dur 0 marks an instant. Peer -1
 // means no counterpart.
+//
+// For KindSend and KindRecv, Seq is the per-(sender, receiver, tag)
+// FIFO sequence number the machine assigned to the message (first
+// message is 1; 0 means "unknown", e.g. a trace recorded before
+// sequence numbers existed). A send and a recv with equal
+// (src, dst, name, seq) describe the same message, which is how the
+// trace-analysis layer stitches per-rank timelines into a causal
+// happens-before graph.
 type Event struct {
 	Kind  Kind
 	Name  string
 	Rank  int32
 	Peer  int32
 	Bytes int64
+	Seq   int64
 	Start int64
 	Dur   int64
+}
+
+// MessagePair links a send event to its matching recv event by index
+// into the slice passed to MatchMessages.
+type MessagePair struct {
+	Send, Recv int
+}
+
+// MatchMessages pairs send events with the recv events that consumed
+// them, keyed by (src, dst, tag, seq). Events with Seq ≤ 0 are skipped
+// (no sequence information). When a key occurs more than once — e.g. a
+// trace spanning several machines, or a duplicated message under fault
+// injection — occurrences are paired in timestamp order. Unmatched
+// events (the counterpart was overwritten in its ring, or the message
+// was dropped) are simply absent from the result.
+func MatchMessages(events []Event) []MessagePair {
+	type key struct {
+		src, dst int32
+		tag      string
+		seq      int64
+	}
+	sends := map[key][]int{}
+	recvs := map[key][]int{}
+	for i, e := range events {
+		if e.Seq <= 0 {
+			continue
+		}
+		switch e.Kind {
+		case KindSend:
+			k := key{src: e.Rank, dst: e.Peer, tag: e.Name, seq: e.Seq}
+			sends[k] = append(sends[k], i)
+		case KindRecv:
+			k := key{src: e.Peer, dst: e.Rank, tag: e.Name, seq: e.Seq}
+			recvs[k] = append(recvs[k], i)
+		}
+	}
+	var pairs []MessagePair
+	for k, ss := range sends {
+		rs := recvs[k]
+		if len(rs) == 0 {
+			continue
+		}
+		byStart := func(idx []int) {
+			sort.Slice(idx, func(a, b int) bool { return events[idx[a]].Start < events[idx[b]].Start })
+		}
+		byStart(ss)
+		byStart(rs)
+		n := len(ss)
+		if len(rs) < n {
+			n = len(rs)
+		}
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, MessagePair{Send: ss[i], Recv: rs[i]})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if sa, sb := events[pairs[a].Send].Start, events[pairs[b].Send].Start; sa != sb {
+			return sa < sb
+		}
+		return pairs[a].Send < pairs[b].Send
+	})
+	return pairs
 }
 
 // Tracer records SPMD events into fixed-capacity per-rank ring buffers:
@@ -162,11 +251,27 @@ func (t *Tracer) Dropped() int64 {
 // load on the hot path.
 var active atomic.Pointer[Tracer]
 
+// DroppedGauge is the computed gauge StartTracing registers in the
+// default registry: how many trace events the active tracer has
+// overwritten because a ring was full. A nonzero value means exported
+// traces are truncated and analysis built on them (critical path,
+// breakdowns) is skewed toward the end of the run.
+const DroppedGauge = "trace.dropped_events"
+
 // StartTracing installs a new process-wide tracer for ranks processor
-// timelines with the given per-rank event capacity, and returns it.
+// timelines with the given per-rank event capacity, and returns it. The
+// tracer's overwrite count is published as the computed gauge
+// "trace.dropped_events" in the default registry until StopTracing.
 func StartTracing(ranks, capacity int) *Tracer {
 	t := NewTracer(ranks, capacity)
 	active.Store(t)
+	Default().UnregisterGaugeFunc(DroppedGauge)
+	_ = Default().RegisterGaugeFunc(DroppedGauge, func() int64 {
+		if tr := active.Load(); tr != nil {
+			return tr.Dropped()
+		}
+		return t.Dropped() // stopped: keep reporting the final count
+	})
 	return t
 }
 
@@ -191,13 +296,16 @@ type chromeEvent struct {
 	Dur   float64        `json:"dur,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
+	ID    int            `json:"id,omitempty"`
+	Bp    string         `json:"bp,omitempty"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
 // chromeTid maps a rank to a Chrome thread id: ranks keep their number,
@@ -211,9 +319,14 @@ func (t *Tracer) chromeTid(rank int32) int {
 
 // WriteChromeTrace writes every retained event as a Chrome trace_event
 // JSON document loadable in chrome://tracing and Perfetto: one thread
-// per rank (plus "host"), complete events for spans/recvs/barriers/
-// collectives and instant events for sends, with peer and byte counts
-// in args.
+// per rank (plus "host"), complete events for every kind (sends carry
+// their short delivery duration, zero-duration events render as
+// instants), with peer, byte counts and message sequence numbers in
+// args. Matched send→recv pairs additionally emit flow events
+// (ph "s"/"f") so viewers draw an arrow from each send slice to the
+// receive it unblocked. The document's otherData block records the rank
+// count and the number of overwritten ring events, which the
+// trace-analysis loader reads back.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := t.Events()
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
@@ -243,7 +356,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Pid:  0,
 			Tid:  t.chromeTid(e.Rank),
 		}
-		if e.Peer >= 0 || e.Bytes > 0 {
+		if e.Peer >= 0 || e.Bytes > 0 || e.Seq > 0 {
 			ce.Args = map[string]any{}
 			if e.Peer >= 0 {
 				ce.Args["peer"] = e.Peer
@@ -251,8 +364,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			if e.Bytes > 0 {
 				ce.Args["bytes"] = e.Bytes
 			}
+			if e.Seq > 0 {
+				ce.Args["seq"] = e.Seq
+			}
 		}
-		if e.Kind == KindSend {
+		if e.Dur == 0 {
 			ce.Ph = "i"
 			ce.Scope = "t"
 		} else {
@@ -261,7 +377,30 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		out = append(out, ce)
 	}
-	data, err := json.MarshalIndent(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"}, "", " ")
+	// Flow events: one s/f pair per matched message, anchored inside the
+	// send and recv slices so Perfetto binds the arrow to them ("bp":"e"
+	// attaches the finish to the enclosing slice, i.e. the recv wait).
+	for flowID, pr := range MatchMessages(events) {
+		s, r := events[pr.Send], events[pr.Recv]
+		out = append(out,
+			chromeEvent{
+				Name: s.Name, Cat: "msg", Ph: "s", ID: flowID + 1,
+				Ts: float64(s.Start+s.Dur/2) / 1e3, Pid: 0, Tid: t.chromeTid(s.Rank),
+			},
+			chromeEvent{
+				Name: s.Name, Cat: "msg", Ph: "f", Bp: "e", ID: flowID + 1,
+				Ts: float64(r.Start+r.Dur/2) / 1e3, Pid: 0, Tid: t.chromeTid(r.Rank),
+			})
+	}
+	doc := chromeTrace{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"ranks":   t.ranks,
+			"dropped": t.Dropped(),
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
 	if err != nil {
 		return err
 	}

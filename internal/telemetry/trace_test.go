@@ -84,8 +84,9 @@ func TestEndSpan(t *testing.T) {
 func goldenTracer() *Tracer {
 	tr := NewTracer(2, 64)
 	tr.Record(Event{Kind: KindSpan, Name: "comm.plan", Rank: HostRank, Peer: -1, Start: 1000, Dur: 5000})
-	tr.Record(Event{Kind: KindSend, Name: "comm.copy", Rank: 0, Peer: 1, Bytes: 256, Start: 7000})
-	tr.Record(Event{Kind: KindRecv, Name: "comm.copy", Rank: 1, Peer: 0, Bytes: 256, Start: 7100, Dur: 900})
+	tr.Record(Event{Kind: KindSend, Name: "comm.copy", Rank: 0, Peer: 1, Bytes: 256, Seq: 1, Start: 7000, Dur: 100})
+	tr.Record(Event{Kind: KindRecv, Name: "comm.copy", Rank: 1, Peer: 0, Bytes: 256, Seq: 1, Start: 7100, Dur: 900})
+	tr.Record(Event{Kind: KindSend, Name: "comm.lost", Rank: 0, Peer: 1, Bytes: 64, Seq: 1, Start: 8000})
 	tr.Record(Event{Kind: KindBarrier, Name: "barrier", Rank: 0, Peer: -1, Start: 9000, Dur: 1500})
 	tr.Record(Event{Kind: KindBarrier, Name: "barrier", Rank: 1, Peer: -1, Start: 9200, Dur: 1300})
 	tr.Record(Event{Kind: KindReduce, Name: "allreduce", Rank: 0, Peer: -1, Start: 11000, Dur: 2000})
@@ -120,20 +121,30 @@ func TestChromeTraceParses(t *testing.T) {
 	}
 	var doc struct {
 		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("export is not valid JSON: %v", err)
 	}
-	// 3 thread_name + 1 process_name metadata + 7 events.
-	if len(doc.TraceEvents) != 11 {
-		t.Errorf("got %d trace events, want 11", len(doc.TraceEvents))
+	// 3 thread_name + 1 process_name metadata + 8 events + 1 flow pair.
+	if len(doc.TraceEvents) != 14 {
+		t.Errorf("got %d trace events, want 14", len(doc.TraceEvents))
 	}
 	phs := map[string]int{}
 	for _, e := range doc.TraceEvents {
 		phs[e["ph"].(string)]++
 	}
-	if phs["M"] != 4 || phs["i"] != 1 || phs["X"] != 6 {
-		t.Errorf("phase counts = %v, want M:4 i:1 X:6", phs)
+	// The matched comm.copy pair becomes one s/f flow pair; the
+	// zero-duration comm.lost send stays an instant, and its recv never
+	// happened, so it contributes no flow events.
+	if phs["M"] != 4 || phs["i"] != 1 || phs["X"] != 7 || phs["s"] != 1 || phs["f"] != 1 {
+		t.Errorf("phase counts = %v, want M:4 i:1 X:7 s:1 f:1", phs)
+	}
+	if got := doc.OtherData["ranks"]; got != float64(2) {
+		t.Errorf("otherData ranks = %v, want 2", got)
+	}
+	if got := doc.OtherData["dropped"]; got != float64(0) {
+		t.Errorf("otherData dropped = %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceV1RoundTrip(t *testing.T) {
+	tr := goldenTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteTraceV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ReadTraceV1(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != TraceSchema || doc.Ranks != 2 || doc.Capacity != 64 || doc.Dropped != 0 {
+		t.Errorf("header = %+v", doc)
+	}
+	orig := tr.Events()
+	back := doc.RuntimeEvents()
+	if len(back) != len(orig) {
+		t.Fatalf("round-trip kept %d events, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestReadTraceV1Rejects(t *testing.T) {
+	for _, bad := range []string{
+		`{"schema":"telemetry/v1","ranks":1,"events":[]}`,
+		`{"schema":"trace/v1","ranks":1,"events":[{"kind":"warp","name":"x","rank":0,"peer":-1,"start":0,"dur":0}]}`,
+		`not json`,
+	} {
+		if _, err := ReadTraceV1(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadTraceV1(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMatchMessages(t *testing.T) {
+	events := []Event{
+		{Kind: KindSend, Name: "a", Rank: 0, Peer: 1, Seq: 1, Start: 10},
+		{Kind: KindSend, Name: "a", Rank: 0, Peer: 1, Seq: 2, Start: 20},
+		{Kind: KindRecv, Name: "a", Rank: 1, Peer: 0, Seq: 2, Start: 25, Dur: 5},
+		{Kind: KindRecv, Name: "a", Rank: 1, Peer: 0, Seq: 1, Start: 12, Dur: 2},
+		{Kind: KindSend, Name: "b", Rank: 1, Peer: 0, Seq: 1, Start: 30},   // dropped: no recv
+		{Kind: KindRecv, Name: "c", Rank: 0, Peer: 1, Seq: 9, Start: 40},   // orphan recv
+		{Kind: KindSend, Name: "d", Rank: 0, Peer: 1, Start: 50},           // no seq: ignored
+		{Kind: KindBarrier, Name: "barrier", Rank: 0, Start: 60, Dur: 100}, // not a message
+	}
+	pairs := MatchMessages(events)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs (%v), want 2", len(pairs), pairs)
+	}
+	// Sorted by send start: (0→3) then (1→2).
+	if pairs[0] != (MessagePair{Send: 0, Recv: 3}) || pairs[1] != (MessagePair{Send: 1, Recv: 2}) {
+		t.Errorf("pairs = %v, want [{0 3} {1 2}]", pairs)
+	}
+}
+
+// Duplicate keys (two machines in one trace, or a duplicated message
+// under fault injection) must pair in timestamp order, never crash, and
+// never pair one send with two recvs.
+func TestMatchMessagesDuplicateKeys(t *testing.T) {
+	events := []Event{
+		{Kind: KindSend, Name: "t", Rank: 0, Peer: 1, Seq: 1, Start: 10},
+		{Kind: KindRecv, Name: "t", Rank: 1, Peer: 0, Seq: 1, Start: 15},
+		{Kind: KindSend, Name: "t", Rank: 0, Peer: 1, Seq: 1, Start: 100}, // second machine
+		{Kind: KindRecv, Name: "t", Rank: 1, Peer: 0, Seq: 1, Start: 110},
+		{Kind: KindRecv, Name: "t", Rank: 1, Peer: 0, Seq: 1, Start: 120}, // duplicated delivery
+	}
+	pairs := MatchMessages(events)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs (%v), want 2", len(pairs), pairs)
+	}
+	if pairs[0] != (MessagePair{Send: 0, Recv: 1}) || pairs[1] != (MessagePair{Send: 2, Recv: 3}) {
+		t.Errorf("pairs = %v, want [{0 1} {2 3}]", pairs)
+	}
+}
+
+func TestDroppedEventsGauge(t *testing.T) {
+	tr := StartTracing(1, 16)
+	defer StopTracing()
+	for i := 0; i < 40; i++ {
+		tr.Record(Event{Kind: KindSend, Name: "t", Rank: 0, Start: int64(i)})
+	}
+	snap := Default().Snapshot()
+	if got := snap.Gauges[DroppedGauge]; got != 24 {
+		t.Errorf("gauge %s = %d, want 24", DroppedGauge, got)
+	}
+	// The gauge keeps reporting the last tracer's count after stop.
+	StopTracing()
+	snap = Default().Snapshot()
+	if got := snap.Gauges[DroppedGauge]; got != 24 {
+		t.Errorf("gauge %s after stop = %d, want 24", DroppedGauge, got)
+	}
+}
+
+func TestHistogramMax(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{5, 900, 17, -3} {
+		h.Observe(v)
+	}
+	if got := h.Max(); got != 900 {
+		t.Errorf("Max = %d, want 900", got)
+	}
+	s := h.snapshot()
+	if s.Max != 900 {
+		t.Errorf("snapshot Max = %d, want 900", s.Max)
+	}
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.Histogram("x.lat").Observe(900)
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "p99≤1023") || !strings.Contains(buf.String(), "max=900") {
+		t.Errorf("text dump missing quantiles/max:\n%s", buf.String())
+	}
+}

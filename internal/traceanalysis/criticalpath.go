@@ -1,0 +1,174 @@
+package traceanalysis
+
+import (
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// criticalPath walks the happens-before graph backwards from the
+// globally last-finishing event to the start of the run, at every point
+// asking "what was this rank doing, and if it was blocked, who ended
+// the wait?":
+//
+//   - inside a recv wait, the chain jumps to the matched send on the
+//     peer rank — the message's arrival is what released this rank;
+//   - inside a barrier wait, the chain jumps to the instance's last
+//     arrival — the straggler released everyone;
+//   - otherwise the chain stays on the rank, attributing the segment to
+//     the covering event (send, span tail, collective bookkeeping) or
+//     to untraced compute between events.
+//
+// The segments tile the wall-clock interval, so the path's total is
+// bounded by the wall clock, and the per-operation aggregation ranks
+// exactly the operations a straggler-chasing programmer should look at
+// first.
+func (g *graph) criticalPath() CriticalPath {
+	cp := CriticalPath{}
+	if g.rankEvents == 0 {
+		return cp
+	}
+	// Start at the event with the latest end time.
+	curRank, t := -1, int64(0)
+	for r, idxs := range g.byRank {
+		for _, i := range idxs {
+			if end := g.events[i].Start + g.events[i].Dur; curRank < 0 || end > t {
+				curRank, t = r, end
+			}
+		}
+	}
+
+	var steps []PathStep
+	add := func(kind, name string, rank int, from, to int64) {
+		if to <= from {
+			return
+		}
+		steps = append(steps, PathStep{Kind: kind, Name: name, Rank: rank, StartNs: from, DurNs: to - from})
+	}
+
+	// Cap the walk defensively: every step either strictly lowers t or
+	// terminates, but a malformed trace should degrade, not hang.
+	maxSteps := 4*len(g.events) + 16
+	for guard := 0; t > g.wallStart && guard < maxSteps; guard++ {
+		e, idx, ok := g.coveringEvent(curRank, t)
+		if !ok {
+			// Nothing earlier on this rank: the chain dissolves into the
+			// rank's startup.
+			add("compute", "(startup)", curRank, g.wallStart, t)
+			t = g.wallStart
+			break
+		}
+		end := e.Start + e.Dur
+		if end < t {
+			// Gap between events: untraced local work.
+			add("compute", "(compute)", curRank, end, t)
+			t = end
+			continue
+		}
+		switch e.Kind {
+		case telemetry.KindRecv:
+			if s, matched := g.sendOf[idx]; matched {
+				se := g.events[s]
+				sendEnd := se.Start + se.Dur
+				if jumpT := minInt64(sendEnd, t); jumpT < t && jumpT > e.Start {
+					// The wait [jumpT, t] existed because the sender delivered
+					// at jumpT; continue the chain on the sender.
+					add("recv-wait", e.Name, curRank, jumpT, t)
+					curRank, t = int(se.Rank), jumpT
+					continue
+				}
+			}
+			// Message was already waiting in the mailbox (or the send was
+			// lost from the ring): the recv itself is cheap bookkeeping.
+			add("recv", e.Name, curRank, e.Start, t)
+			t = e.Start
+		case telemetry.KindBarrier:
+			if join, ok := g.barrierCause[idx]; ok &&
+				join.causeRank != curRank && join.causeStart > e.Start && join.causeStart < t {
+				// This rank waited for the straggler; follow it.
+				add("barrier-wait", e.Name, curRank, join.causeStart, t)
+				curRank, t = join.causeRank, join.causeStart
+				continue
+			}
+			// This rank WAS the last arrival (or the instance is unknown):
+			// the barrier cost is its own bookkeeping.
+			add("barrier", e.Name, curRank, e.Start, t)
+			t = e.Start
+		case telemetry.KindSend:
+			add("send", e.Name, curRank, e.Start, t)
+			t = e.Start
+		case telemetry.KindReduce:
+			add("collective", e.Name, curRank, e.Start, t)
+			t = e.Start
+		default: // KindSpan
+			add("span", e.Name, curRank, e.Start, t)
+			t = e.Start
+		}
+	}
+
+	// The walk built the path backwards.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	cp.Steps = steps
+	for _, s := range steps {
+		cp.TotalNs += s.DurNs
+	}
+	cp.ByOp = aggregateSteps(steps)
+	return cp
+}
+
+// coveringEvent returns the chronologically latest event on rank r that
+// starts strictly before t — the event "responsible" for the timeline
+// at t⁻. With nested events (a recv inside a collective span) the
+// inner, later-starting event wins, which is exactly the causal leaf.
+func (g *graph) coveringEvent(r int, t int64) (telemetry.Event, int, bool) {
+	if r < 0 || r >= len(g.byRank) {
+		return telemetry.Event{}, 0, false
+	}
+	idxs := g.byRank[r]
+	// First index whose Start ≥ t; the predecessor starts before t.
+	pos := sort.Search(len(idxs), func(i int) bool { return g.events[idxs[i]].Start >= t })
+	if pos == 0 {
+		return telemetry.Event{}, 0, false
+	}
+	i := idxs[pos-1]
+	return g.events[i], i, true
+}
+
+// aggregateSteps ranks the path's segments by operation.
+func aggregateSteps(steps []PathStep) []OpContribution {
+	type key struct{ kind, name string }
+	agg := map[key]*OpContribution{}
+	for _, s := range steps {
+		k := key{s.Kind, s.Name}
+		oc := agg[k]
+		if oc == nil {
+			oc = &OpContribution{Kind: s.Kind, Name: s.Name}
+			agg[k] = oc
+		}
+		oc.Count++
+		oc.TotalNs += s.DurNs
+	}
+	out := make([]OpContribution, 0, len(agg))
+	for _, oc := range agg {
+		out = append(out, *oc)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].TotalNs != out[b].TotalNs {
+			return out[a].TotalNs > out[b].TotalNs
+		}
+		if out[a].Kind != out[b].Kind {
+			return out[a].Kind < out[b].Kind
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

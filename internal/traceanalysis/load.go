@@ -1,0 +1,123 @@
+package traceanalysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/telemetry"
+)
+
+// Load reads a trace from either supported container and returns it
+// ready for Analyze:
+//
+//   - trace/v1 (the tracer's self-describing export, also served by the
+//     CLIs' /trace endpoint) — detected by its "schema" tag;
+//   - Chrome trace_event JSON (the -trace flag's output for viewers) —
+//     detected by its "traceEvents" key.
+func Load(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("traceanalysis: read trace: %w", err)
+	}
+	var sniff struct {
+		Schema      string          `json:"schema"`
+		TraceEvents json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &sniff); err != nil {
+		return nil, fmt.Errorf("traceanalysis: trace is not JSON: %w", err)
+	}
+	switch {
+	case sniff.Schema == telemetry.TraceSchema:
+		doc, err := telemetry.ReadTraceV1(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return &Trace{Ranks: doc.Ranks, Dropped: doc.Dropped, Events: doc.RuntimeEvents()}, nil
+	case sniff.Schema != "":
+		return nil, fmt.Errorf("traceanalysis: unsupported schema %q (want %q or Chrome trace_event JSON)",
+			sniff.Schema, telemetry.TraceSchema)
+	case len(sniff.TraceEvents) > 0:
+		return loadChrome(data)
+	}
+	return nil, fmt.Errorf("traceanalysis: neither a %s document nor Chrome trace_event JSON", telemetry.TraceSchema)
+}
+
+// chromeDoc mirrors the fields of the tracer's Chrome export that carry
+// analyzable information. Flow ("s"/"f") and metadata ("M") events are
+// view-layer decoration and are skipped; the underlying send/recv
+// events carry the same sequence numbers in args.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+		Args struct {
+			Peer  *int32 `json:"peer"`
+			Bytes int64  `json:"bytes"`
+			Seq   int64  `json:"seq"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+	OtherData struct {
+		Ranks   *int  `json:"ranks"`
+		Dropped int64 `json:"dropped"`
+	} `json:"otherData"`
+}
+
+// loadChrome reconstructs tracer events from the Chrome export.
+// Timestamps are microseconds in the file; they are converted back to
+// integer nanoseconds. The rank count comes from otherData; exports
+// from before that block treat the largest tid as the host timeline.
+func loadChrome(data []byte) (*Trace, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("traceanalysis: parse Chrome trace: %w", err)
+	}
+	maxTid := 0
+	for _, e := range doc.TraceEvents {
+		if e.Tid > maxTid {
+			maxTid = e.Tid
+		}
+	}
+	ranks := maxTid // pre-otherData fallback: host is the highest tid
+	if doc.OtherData.Ranks != nil {
+		ranks = *doc.OtherData.Ranks
+	}
+	tr := &Trace{Ranks: ranks, Dropped: doc.OtherData.Dropped}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" && e.Ph != "i" {
+			continue
+		}
+		kind, ok := telemetry.KindFromString(e.Cat)
+		if !ok {
+			continue
+		}
+		rank := int32(e.Tid)
+		if e.Tid >= ranks {
+			rank = telemetry.HostRank
+		}
+		peer := int32(-1)
+		if e.Args.Peer != nil {
+			peer = *e.Args.Peer
+		}
+		tr.Events = append(tr.Events, telemetry.Event{
+			Kind:  kind,
+			Name:  e.Name,
+			Rank:  rank,
+			Peer:  peer,
+			Bytes: e.Args.Bytes,
+			Seq:   e.Args.Seq,
+			Start: int64(math.Round(e.Ts * 1e3)),
+			Dur:   int64(math.Round(e.Dur * 1e3)),
+		})
+	}
+	if len(tr.Events) == 0 {
+		return nil, fmt.Errorf("traceanalysis: Chrome trace contains no events")
+	}
+	return tr, nil
+}

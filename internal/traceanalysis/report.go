@@ -1,0 +1,145 @@
+package traceanalysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the analysis as the human-readable hpfprof report.
+// topN bounds the critical-path operation table and the tag table
+// (≤ 0 means everything).
+func (a *Analysis) WriteText(w io.Writer, topN int) error {
+	p := &printer{w: w}
+
+	p.f("hpfprof report: %d ranks, %d events, wall clock %s\n", a.Ranks, a.Events, ns(a.WallClockNs))
+	if a.Dropped > 0 {
+		p.f("\nWARNING: trace rings overwrote %d events — the analysis only\n", a.Dropped)
+		p.f("covers the END of the run; re-trace with a larger capacity for\n")
+		p.f("full coverage.\n")
+	}
+	if a.UnmatchedRecvs > 0 {
+		p.f("note: %d recv events had no matching send in the trace\n", a.UnmatchedRecvs)
+	}
+
+	p.f("\nCritical path: %s (%.1f%% of wall clock, %d steps)\n",
+		ns(a.CriticalPath.TotalNs), pct(a.CriticalPath.TotalNs, a.WallClockNs), len(a.CriticalPath.Steps))
+	ops := a.CriticalPath.ByOp
+	if topN > 0 && len(ops) > topN {
+		ops = ops[:topN]
+	}
+	if len(ops) > 0 {
+		p.f("  %-14s %-24s %10s %8s  %s\n", "KIND", "NAME", "TOTAL", "COUNT", "% OF PATH")
+		for _, oc := range ops {
+			p.f("  %-14s %-24s %10s %8d  %8.1f%%\n",
+				oc.Kind, clip(oc.Name, 24), ns(oc.TotalNs), oc.Count, pct(oc.TotalNs, a.CriticalPath.TotalNs))
+		}
+		if rest := len(a.CriticalPath.ByOp) - len(ops); rest > 0 {
+			p.f("  … %d more operations (-top 0 for all)\n", rest)
+		}
+	}
+
+	p.f("\nPer-rank time breakdown:\n")
+	p.f("  %4s %10s %10s %10s %10s %10s %10s %7s %7s\n",
+		"RANK", "LIFETIME", "COMPUTE", "SEND", "RECVWAIT", "BARRWAIT", "IDLE", "SENDS", "RECVS")
+	for _, b := range a.Breakdown {
+		p.f("  %4d %10s %10s %10s %10s %10s %10s %7d %7d\n",
+			b.Rank, ns(b.LifetimeNs), ns(b.ComputeNs), ns(b.SendNs),
+			ns(b.RecvWaitNs), ns(b.BarrierWaitNs), ns(b.IdleNs), b.Sends, b.Recvs)
+	}
+
+	p.f("\nLoad imbalance: %.1f%% (busiest rank %d: %s busy; mean %s, min %s)\n",
+		a.Imbalance.Percent, a.Imbalance.MaxRank,
+		ns(a.Imbalance.MaxBusyNs), ns(a.Imbalance.MeanBusyNs), ns(a.Imbalance.MinBusyNs))
+
+	p.f("\nCommunication matrix (%d messages, %s): messages src→dst\n",
+		a.Comm.TotalMessages(), bytesHuman(a.Comm.TotalBytes()))
+	p.f("  %6s", "src\\dst")
+	for d := 0; d < a.Comm.P; d++ {
+		p.f(" %8d", d)
+	}
+	p.f("\n")
+	for s := 0; s < a.Comm.P; s++ {
+		p.f("  %6d", s)
+		for d := 0; d < a.Comm.P; d++ {
+			p.f(" %8d", a.Comm.Messages[s][d])
+		}
+		p.f("\n")
+	}
+	tags := a.Comm.Tags
+	if topN > 0 && len(tags) > topN {
+		tags = tags[:topN]
+	}
+	if len(tags) > 0 {
+		p.f("  by tag:\n")
+		for _, ts := range tags {
+			p.f("    %-24s %8d msgs %12s\n", clip(ts.Tag, 24), ts.Messages, bytesHuman(ts.Bytes))
+		}
+		if rest := len(a.Comm.Tags) - len(tags); rest > 0 {
+			p.f("    … %d more tags\n", rest)
+		}
+	}
+
+	if len(a.HostSpans) > 0 {
+		p.f("\nHost spans:\n")
+		for _, oc := range a.HostSpans {
+			p.f("  %-24s %10s ×%d\n", clip(oc.Name, 24), ns(oc.TotalNs), oc.Count)
+		}
+	}
+	return p.err
+}
+
+// printer accumulates the first write error so the report body can
+// stay free of per-line error plumbing.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) f(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// ns renders a nanosecond quantity at µs resolution and above with a
+// fixed short form, keeping report columns narrow.
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// bytesHuman renders a byte count with a binary-ish unit.
+func bytesHuman(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}
+
+func pct(part, whole int64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole) * 100
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

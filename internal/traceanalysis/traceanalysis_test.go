@@ -1,0 +1,176 @@
+package traceanalysis
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticTrace is a hand-authored 4-rank run with fully deterministic
+// timestamps: a ring halo exchange (each send completing just before
+// its recv unblocks), a barrier where rank 2 straggles after a long
+// compute phase, and a final result message 0→1. Every quantity in the
+// golden report is derivable from these numbers by hand.
+func syntheticTrace() *Trace {
+	e := func(kind telemetry.Kind, name string, rank, peer int32, bytes, seq, start, dur int64) telemetry.Event {
+		return telemetry.Event{Kind: kind, Name: name, Rank: rank, Peer: peer,
+			Bytes: bytes, Seq: seq, Start: start, Dur: dur}
+	}
+	return &Trace{
+		Ranks: 4,
+		Events: []telemetry.Event{
+			// Ring halo exchange 0→1→2→3→0. Each recv ends 10 ns after
+			// its matched send completes (delivery + wake-up).
+			e(telemetry.KindSend, "halo", 0, 1, 4096, 1, 0, 2000),
+			e(telemetry.KindRecv, "halo", 1, 0, 4096, 1, 500, 1510),
+			e(telemetry.KindSend, "halo", 1, 2, 4096, 1, 2010, 1000),
+			e(telemetry.KindRecv, "halo", 2, 1, 4096, 1, 2500, 520),
+			e(telemetry.KindSend, "halo", 2, 3, 4096, 1, 3020, 500),
+			e(telemetry.KindRecv, "halo", 3, 2, 4096, 1, 3200, 330),
+			e(telemetry.KindSend, "halo", 3, 0, 4096, 1, 3530, 470),
+			e(telemetry.KindRecv, "halo", 0, 3, 4096, 1, 2100, 1910),
+			// Barrier released at t=10000; rank 2 computes 3520→9900 and
+			// arrives last, so everyone else's barrier wait is its fault.
+			e(telemetry.KindBarrier, "barrier", 0, -1, 0, 0, 5000, 5000),
+			e(telemetry.KindBarrier, "barrier", 1, -1, 0, 0, 6000, 4000),
+			e(telemetry.KindBarrier, "barrier", 2, -1, 0, 0, 9900, 100),
+			e(telemetry.KindBarrier, "barrier", 3, -1, 0, 0, 7000, 3000),
+			// Final result message 0→1 sets the wall-clock end at 11010.
+			e(telemetry.KindSend, "result", 0, 1, 8, 1, 10000, 1000),
+			e(telemetry.KindRecv, "result", 1, 0, 8, 1, 10200, 810),
+			// Host timeline.
+			e(telemetry.KindSpan, "machine.run", telemetry.HostRank, -1, 0, 0, 0, 11010),
+		},
+	}
+}
+
+func TestAnalyzeSynthetic(t *testing.T) {
+	a, err := Analyze(syntheticTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WallClockNs != 11010 {
+		t.Errorf("wall clock = %d, want 11010", a.WallClockNs)
+	}
+	// The walk tiles the whole wall-clock interval on this trace.
+	if a.CriticalPath.TotalNs != a.WallClockNs {
+		t.Errorf("critical path = %d, want full wall clock %d", a.CriticalPath.TotalNs, a.WallClockNs)
+	}
+	// The dominant contributor is rank 2's untraced compute phase
+	// (3520→9900), reached via the barrier-wait jump.
+	if len(a.CriticalPath.ByOp) == 0 || a.CriticalPath.ByOp[0].Name != "(compute)" ||
+		a.CriticalPath.ByOp[0].TotalNs != 6380 {
+		t.Errorf("top path op = %+v, want (compute) 6380", a.CriticalPath.ByOp)
+	}
+	wantSteps := []struct {
+		kind string
+		rank int
+		dur  int64
+	}{
+		{"send", 0, 2000},    // halo 0→1
+		{"recv-wait", 1, 10}, // rank 1 released by it
+		{"send", 1, 1000},    // halo 1→2
+		{"recv-wait", 2, 10}, // rank 2 released by it
+		{"send", 2, 500},     // halo 2→3
+		{"compute", 2, 6380}, // the straggler's compute phase
+		{"barrier-wait", 0, 100},
+		{"send", 0, 1000},    // result 0→1
+		{"recv-wait", 1, 10}, // rank 1 released by it
+	}
+	if len(a.CriticalPath.Steps) != len(wantSteps) {
+		t.Fatalf("path has %d steps, want %d: %+v", len(a.CriticalPath.Steps), len(wantSteps), a.CriticalPath.Steps)
+	}
+	for i, w := range wantSteps {
+		s := a.CriticalPath.Steps[i]
+		if s.Kind != w.kind || s.Rank != w.rank || s.DurNs != w.dur {
+			t.Errorf("step %d = %+v, want %s rank %d dur %d", i, s, w.kind, w.rank, w.dur)
+		}
+	}
+	// Rank 2 is the busiest: 6380 compute + 500 send.
+	if a.Imbalance.MaxRank != 2 || a.Imbalance.MaxBusyNs != 6880 {
+		t.Errorf("imbalance = %+v, want max rank 2 busy 6880", a.Imbalance)
+	}
+	if got := a.Comm.TotalMessages(); got != 5 {
+		t.Errorf("total messages = %d, want 5", got)
+	}
+	if a.Comm.Messages[0][1] != 2 || a.Comm.Bytes[0][1] != 4104 {
+		t.Errorf("comm[0][1] = %d msgs %d bytes, want 2/4104",
+			a.Comm.Messages[0][1], a.Comm.Bytes[0][1])
+	}
+	if len(a.HostSpans) != 1 || a.HostSpans[0].Name != "machine.run" {
+		t.Errorf("host spans = %+v", a.HostSpans)
+	}
+	if a.UnmatchedRecvs != 0 {
+		t.Errorf("unmatched recvs = %d", a.UnmatchedRecvs)
+	}
+}
+
+func TestGoldenReport(t *testing.T) {
+	a, err := Analyze(syntheticTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden (re-run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(&Trace{Ranks: 0}); err == nil {
+		t.Error("no error for 0 ranks")
+	}
+	if _, err := Analyze(&Trace{Ranks: 2}); err == nil {
+		t.Error("no error for empty trace")
+	}
+	// Host-only events still leave nothing to analyze.
+	hostOnly := &Trace{Ranks: 2, Events: []telemetry.Event{
+		{Kind: telemetry.KindSpan, Name: "s", Rank: telemetry.HostRank, Dur: 5},
+	}}
+	if _, err := Analyze(hostOnly); err == nil {
+		t.Error("no error for host-only trace")
+	}
+}
+
+// The breakdown invariant must survive malformed traces where waits
+// overlap and exceed the rank lifetime.
+func TestBreakdownClamps(t *testing.T) {
+	tr := &Trace{Ranks: 1, Events: []telemetry.Event{
+		{Kind: telemetry.KindRecv, Name: "a", Rank: 0, Peer: 0, Start: 0, Dur: 100},
+		{Kind: telemetry.KindRecv, Name: "b", Rank: 0, Peer: 0, Start: 0, Dur: 100},
+	}}
+	a, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Breakdown[0]
+	if got := b.ComputeNs + b.SendNs + b.RecvWaitNs + b.BarrierWaitNs; got != b.LifetimeNs {
+		t.Errorf("components sum to %d, want lifetime %d", got, b.LifetimeNs)
+	}
+	if b.ComputeNs != 0 || b.RecvWaitNs != 100 {
+		t.Errorf("clamped breakdown = %+v", b)
+	}
+}
