@@ -10,7 +10,11 @@
 //
 // With -check, the internal/analysis passes (the same ones cmd/hpflint
 // runs) vet the script before execution: diagnostics go to stderr, and
-// error-severity findings stop the script from running at all.
+// error-severity findings stop the script from running at all. That
+// includes the dataflow warnings HPF013–HPF018 (redundant and dead
+// redistributes, dead stores, possibly-uninitialized reads, layout
+// suggestions, the whole-script communication budget) — advisory here,
+// but fixable with hpflint -fix.
 package main
 
 import (

@@ -3,19 +3,33 @@
 // executes (internal/lang/ast) and runs the internal/analysis passes:
 // declaration checking, section bounds, shape conformance, distribution
 // tracking across redistribute, int64-overflow guards on the lattice
-// parameters, and a communication-cost lint.
+// parameters, a communication-cost lint, and the dataflow passes
+// (HPF013–HPF018: redundant/dead redistributes, dead stores,
+// possibly-uninitialized reads, layout suggestions and the whole-script
+// communication budget).
 //
 //	hpflint script.hpf            # lint one or more script files
 //	hpflint -                     # lint a script from stdin
 //	hpflint -json script.hpf      # machine-readable diagnostics
+//	hpflint -sarif script.hpf     # SARIF 2.1.0 for CI annotation
+//	hpflint -fix script.hpf       # rewrite: drop redundant/dead redistributes
 //
 // Text diagnostics have the shape
 //
 //	script.hpf:7:1: error[HPF005]: section 0:400:1 outside A extent [0, 320)
 //
+// and sort deterministically by (file, line, col, code). A file that
+// cannot be read is reported and the remaining files are still linted.
+//
+// -fix takes exactly one input, prints the rewritten script on stdout
+// and notes each applied fix on stderr. Only provably safe rewrites are
+// applied: redistribute statements flagged HPF013/HPF014 whose removal
+// introduces no new diagnostics (each removal is verified by re-linting)
+// are replaced with comments, preserving line numbers.
+//
 // hpflint exits 1 when any error-severity diagnostic was reported, 2 on
-// usage or I/O problems, and 0 otherwise (a clean script, or warnings
-// only).
+// usage or I/O problems (even if other files linted clean), and 0
+// otherwise (clean scripts, or warnings only).
 package main
 
 import (
@@ -28,12 +42,8 @@ import (
 	"repro/internal/analysis"
 )
 
-// fileDiagnostic is a diagnostic tagged with the script it came from,
-// the unit of -json output.
-type fileDiagnostic struct {
-	File string `json:"file"`
-	analysis.Diagnostic
-}
+// version tags the SARIF tool descriptor.
+const version = "1.0"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
@@ -43,47 +53,100 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hpflint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
+	fix := fs.Bool("fix", false, "apply safe fixes and print the rewritten script")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: hpflint [-json] [script.hpf ... | -]")
+		fmt.Fprintln(stderr, "usage: hpflint [-json|-sarif|-fix] [script.hpf ... | -]")
 		return 2
 	}
+	exclusive := 0
+	for _, on := range []bool{*jsonOut, *sarifOut, *fix} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fmt.Fprintln(stderr, "hpflint: -json, -sarif and -fix are mutually exclusive")
+		return 2
+	}
+	if *fix {
+		return runFix(fs.Args(), stdin, stdout, stderr)
+	}
 
-	var all []fileDiagnostic
-	hasErrors := false
+	var all []analysis.FileDiagnostic
+	hasErrors, ioFailed := false, false
 	for _, name := range fs.Args() {
 		src, display, err := readScript(name, stdin)
 		if err != nil {
+			// Report and keep going: one unreadable file must not hide
+			// findings in the rest.
 			fmt.Fprintln(stderr, "hpflint:", err)
-			return 2
+			ioFailed = true
+			continue
 		}
 		diags := analysis.AnalyzeSource(src)
 		if analysis.HasErrors(diags) {
 			hasErrors = true
 		}
 		for _, d := range diags {
-			all = append(all, fileDiagnostic{File: display, Diagnostic: d})
+			all = append(all, analysis.FileDiagnostic{File: display, Diagnostic: d})
 		}
 	}
+	analysis.SortFileDiags(all)
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		raw, err := analysis.SARIF("hpflint", version, all)
+		if err != nil {
+			fmt.Fprintln(stderr, "hpflint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(raw))
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if all == nil {
-			all = []fileDiagnostic{}
+			all = []analysis.FileDiagnostic{}
 		}
 		if err := enc.Encode(all); err != nil {
 			fmt.Fprintln(stderr, "hpflint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range all {
 			fmt.Fprintf(stdout, "%s:%s\n", d.File, d.Diagnostic)
 		}
 	}
-	if hasErrors {
+	switch {
+	case ioFailed:
+		return 2
+	case hasErrors:
+		return 1
+	}
+	return 0
+}
+
+// runFix implements -fix: rewrite one script, print it, and report the
+// applied fixes on stderr.
+func runFix(names []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(names) != 1 {
+		fmt.Fprintln(stderr, "hpflint: -fix takes exactly one script")
+		return 2
+	}
+	src, display, err := readScript(names[0], stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "hpflint:", err)
+		return 2
+	}
+	fixed, fixes := analysis.ApplyFixes(src)
+	fmt.Fprint(stdout, fixed)
+	for _, f := range fixes {
+		fmt.Fprintf(stderr, "%s:%d: fixed [%s]: removed %q\n", display, f.Line, f.Code, f.Old)
+	}
+	if analysis.HasErrors(analysis.AnalyzeSource(fixed)) {
 		return 1
 	}
 	return 0

@@ -128,3 +128,108 @@ func TestLintUsageAndIOErrors(t *testing.T) {
 		t.Errorf("missing file: exit %d, want 2", code)
 	}
 }
+
+// TestLintContinuesPastReadErrors: an unreadable file is reported but
+// the other files are still linted; the run still exits 2.
+func TestLintContinuesPastReadErrors(t *testing.T) {
+	bad := writeScript(t, "A(0:50) = 1.0\n")
+	var out, errOut strings.Builder
+	code := run([]string{"/nonexistent/x.hpf", bad}, nil, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (I/O error wins)", code)
+	}
+	if !strings.Contains(errOut.String(), "hpflint:") {
+		t.Errorf("read error not reported: %q", errOut.String())
+	}
+	if !strings.Contains(out.String(), bad+":1:1:") {
+		t.Errorf("remaining file was not linted: %q", out.String())
+	}
+}
+
+// TestLintDeterministicOrder: diagnostics across files sort by
+// (file, line, col, code) regardless of argument order.
+func TestLintDeterministicOrder(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.hpf")
+	b := filepath.Join(dir, "b.hpf")
+	for path, src := range map[string]string{a: "bogus\n", b: "bogus\n"} {
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out1, out2, errOut strings.Builder
+	if code := run([]string{b, a}, nil, &out1, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if code := run([]string{a, b}, nil, &out2, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("output depends on argument order:\n%q\n%q", out1.String(), out2.String())
+	}
+	if !strings.HasPrefix(out1.String(), a+":") {
+		t.Errorf("diagnostics not sorted by file: %q", out1.String())
+	}
+}
+
+func TestLintSARIF(t *testing.T) {
+	path := writeScript(t, "processors P(2)\narray A(10) distribute cyclic(2) onto P\nA(0:50) = 1.0\n")
+	var out, errOut strings.Builder
+	if code := run([]string{"-sarif", path}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("sarif run: exit %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("not valid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Fatalf("unexpected SARIF shape: %s", out.String())
+	}
+	if log.Runs[0].Results[0].RuleID != "HPF005" {
+		t.Errorf("ruleId = %q, want HPF005", log.Runs[0].Results[0].RuleID)
+	}
+}
+
+func TestLintFix(t *testing.T) {
+	src := `processors P(4)
+array A(64) distribute cyclic(4) onto P
+A = 1.0
+redistribute A cyclic(4)
+sum A(0:63)
+`
+	path := writeScript(t, src)
+	var out, errOut strings.Builder
+	if code := run([]string{"-fix", path}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("fix run: exit %d, stderr %q", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "redistribute A cyclic(4)") &&
+		!strings.Contains(out.String(), "! hpflint -fix") {
+		t.Errorf("no-op redistribute not removed:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "fixed [HPF013]") {
+		t.Errorf("fix not reported on stderr: %q", errOut.String())
+	}
+	// The rewritten script must lint clean.
+	fixedPath := writeScript(t, out.String())
+	var out2, errOut2 strings.Builder
+	if code := run([]string{fixedPath}, nil, &out2, &errOut2); code != 0 || out2.String() != "" {
+		t.Errorf("fixed script not clean: exit %d, %q", code, out2.String())
+	}
+}
+
+func TestLintFlagExclusivity(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "-sarif", "x.hpf"}, nil, &out, &errOut); code != 2 {
+		t.Errorf("-json -sarif together: exit %d, want 2", code)
+	}
+	if code := run([]string{"-fix", "a.hpf", "b.hpf"}, nil, &out, &errOut); code != 2 {
+		t.Errorf("-fix with two files: exit %d, want 2", code)
+	}
+}

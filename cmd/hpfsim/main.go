@@ -12,18 +12,25 @@
 //	hpfsim -pprof localhost:6060  # serve net/http/pprof during the run
 //	hpfsim -faults seed=3,delay=0.2:200us,reorder=0.2   # seeded chaos run
 //	hpfsim -deadline 2s           # blocked receives fail instead of hanging
+//
+// Before the machine starts, the demo workload is rendered as a
+// mini-HPF script and run through the hpflint analysis passes; findings
+// (for example the cross-distribution copy's HPF010) are printed to
+// stderr as a pre-flight report. -nocheck skips it.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/hpf"
@@ -46,12 +53,13 @@ func main() {
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		faults   = flag.String("faults", "", "inject seeded message faults: seed=<n>,drop=<p>,dup=<p>,reorder=<p>,delay=<p>[:<dur>],crash=<rank>@<step>")
 		deadline = flag.Duration("deadline", 0, "per-receive deadline: a Recv blocked longer than this fails the run instead of hanging")
+		nocheck  = flag.Bool("nocheck", false, "skip the static pre-flight analysis of the workload")
 	)
 	flag.Parse()
 	cfg := config{P: *p, K: *k, K2: *k2, N: *n,
 		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprof,
 		HTTPAddr: *httpAddr, Linger: *linger,
-		FaultSpec: *faults, Deadline: *deadline}
+		FaultSpec: *faults, Deadline: *deadline, NoCheck: *nocheck}
 	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hpfsim:", err)
 		os.Exit(1)
@@ -67,6 +75,7 @@ type config struct {
 	Linger      time.Duration
 	FaultSpec   string
 	Deadline    time.Duration
+	NoCheck     bool
 
 	// afterRun, when set, is called with the -http server's bound
 	// address after the workload finishes but before the linger sleep
@@ -134,6 +143,9 @@ func runConfig(cfg config) error {
 		telemetry.StartTracing(int(cfg.P), traceCapacity)
 		defer telemetry.StopTracing()
 	}
+	if !cfg.NoCheck {
+		preflight(cfg, os.Stderr)
+	}
 	runErr := run(cfg, faults)
 	if httpLn != nil && runErr == nil {
 		if cfg.afterRun != nil {
@@ -171,6 +183,45 @@ func runConfig(cfg config) error {
 		}
 	}
 	return runErr
+}
+
+// workloadScript renders the demo workload as a mini-HPF script so the
+// static analyzer can pre-flight the exact communication pattern the
+// machine is about to execute: fill A cyclic(k), strided store, the
+// cross-distribution copy into B cyclic(k2), a read of the copied
+// section, the redistribute of A onto cyclic(k2), and the final
+// verification read.
+func workloadScript(p, k, k2, n int64) string {
+	sec := section.Section{Lo: 4, Hi: n - 1, Stride: 9}
+	dstHi := int64(0)
+	if cnt := sec.Count(); cnt > 0 {
+		dstHi = 2 * (cnt - 1)
+	}
+	return fmt.Sprintf(`processors P(%d)
+array A(%d) distribute cyclic(%d) onto P
+array B(%d) distribute cyclic(%d) onto P
+A = 0.0
+A(4:%d:9) = -1.0
+B(0:%d:2) = A(4:%d:9)
+sum B(0:%d:2)
+redistribute A cyclic(%d)
+sum A(0:%d)
+`, p, n, k, n, k2, n-1, dstHi, n-1, dstHi, k2, n-1)
+}
+
+// preflight runs the hpflint passes over the rendered workload and
+// writes any findings to w. It is advisory: the run proceeds either
+// way, and invalid flag combinations still fail in run() with the
+// machine's own errors.
+func preflight(cfg config, w io.Writer) {
+	diags := analysis.AnalyzeSource(workloadScript(cfg.P, cfg.K, cfg.K2, cfg.N))
+	if len(diags) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "pre-flight: hpflint findings on the workload script (-nocheck to skip):")
+	for _, d := range diags {
+		fmt.Fprintf(w, "pre-flight: workload.hpf:%s\n", d)
+	}
 }
 
 // run executes the demo workload. Machine-level failures — an injected

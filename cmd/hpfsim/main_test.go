@@ -9,8 +9,43 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/telemetry"
 )
+
+// TestWorkloadScriptMirrorsDemo: the rendered script must be a faithful,
+// executable-grade mirror of the demo — it parses, and the only findings
+// on the default shape are warnings (the cross-distribution copy's
+// HPF010 among them), never errors.
+func TestWorkloadScriptMirrorsDemo(t *testing.T) {
+	for _, cfg := range []config{
+		{P: 4, K: 8, K2: 5, N: 320},
+		{P: 3, K: 4, K2: 7, N: 100},
+		{P: 1, K: 2, K2: 3, N: 40},
+	} {
+		src := workloadScript(cfg.P, cfg.K, cfg.K2, cfg.N)
+		if diags := analysis.AnalyzeSource(src); analysis.HasErrors(diags) {
+			t.Errorf("workload script for %+v has errors: %v\n%s", cfg, diags, src)
+		}
+	}
+}
+
+func TestPreflightReportsCrossDistributionCopy(t *testing.T) {
+	var buf strings.Builder
+	preflight(config{P: 4, K: 8, K2: 5, N: 320}, &buf)
+	out := buf.String()
+	if !strings.Contains(out, "HPF010") {
+		t.Errorf("pre-flight should flag the cyclic(8)->cyclic(5) copy:\n%s", out)
+	}
+	if !strings.Contains(out, "-nocheck") {
+		t.Errorf("pre-flight should mention the opt-out flag:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "pre-flight:") {
+			t.Errorf("unprefixed pre-flight line %q", line)
+		}
+	}
+}
 
 func TestRunDefault(t *testing.T) {
 	if err := run(config{P: 4, K: 8, K2: 5, N: 320}, nil); err != nil {

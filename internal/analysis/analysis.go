@@ -72,11 +72,15 @@ func (c *Checker) Report(code string, sev Severity, pos ast.Pos, msg string) {
 // Array returns the symbol-table entry for name, or nil.
 func (c *Checker) Array(name string) *ArrayInfo { return c.arrays[name] }
 
-// Pass is one composable analysis: Check is called once per statement,
-// in script order, before the symbol table absorbs that statement.
+// Pass is one composable analysis. Check, if set, is called once per
+// statement, in script order, before the symbol table absorbs that
+// statement. Finish, if set, is called once after the whole script has
+// been walked — whole-script passes (the dataflow diagnostics) live
+// there, with the final symbol table at their disposal.
 type Pass struct {
-	Name  string
-	Check func(c *Checker, st ast.Stmt)
+	Name   string
+	Check  func(c *Checker, st ast.Stmt)
+	Finish func(c *Checker, sc *ast.Script)
 }
 
 // DefaultPasses returns the standard pass list in reporting order.
@@ -87,6 +91,7 @@ func DefaultPasses() []Pass {
 		{Name: "shape", Check: checkShape},
 		{Name: "overflow", Check: checkOverflow},
 		{Name: "commcost", Check: checkCommCost},
+		{Name: "dataflow", Finish: checkDataflow},
 	}
 }
 
@@ -102,9 +107,16 @@ func Analyze(sc *ast.Script, passes ...Pass) []Diagnostic {
 	}
 	for _, st := range sc.Stmts {
 		for _, p := range passes {
-			p.Check(c, st)
+			if p.Check != nil {
+				p.Check(c, st)
+			}
 		}
 		c.track(st)
+	}
+	for _, p := range passes {
+		if p.Finish != nil {
+			p.Finish(c, sc)
+		}
 	}
 	sortDiags(c.diags)
 	return c.diags

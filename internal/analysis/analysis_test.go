@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,6 +73,12 @@ func TestFixturesCoverEveryCode(t *testing.T) {
 		CodeAllToAll:        "hpf010_alltoall.hpf",
 		CodeZeroStride:      "hpf011_zero_stride.hpf",
 		CodeTableProc:       "hpf012_table_proc.hpf",
+		CodeNoopRedist:      "hpf013_noop_redist.hpf",
+		CodeDeadRedist:      "hpf014_dead_redist.hpf",
+		CodeDeadStore:       "hpf015_dead_store.hpf",
+		CodeUninit:          "hpf016_uninit.hpf",
+		CodeLayoutFix:       "hpf017_layout_fix.hpf",
+		CodeCommBudget:      "hpf018_comm_budget.hpf",
 	}
 	for code, fixture := range codes {
 		src, err := os.ReadFile(filepath.Join("testdata", fixture))
@@ -91,6 +98,45 @@ func TestFixturesCoverEveryCode(t *testing.T) {
 	}
 }
 
+// TestNegativeFixturesAreClean guards the dataflow passes against false
+// positives: each *_clean.hpf fixture must produce no diagnostics at all.
+func TestNegativeFixturesAreClean(t *testing.T) {
+	scripts, err := filepath.Glob(filepath.Join("testdata", "*_clean.hpf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) < 6 {
+		t.Fatalf("expected a negative fixture per dataflow code, found %v", scripts)
+	}
+	for _, script := range scripts {
+		src, err := os.ReadFile(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := AnalyzeSource(string(src)); len(diags) != 0 {
+			t.Errorf("%s should be clean, got %v", script, diags)
+		}
+	}
+}
+
+// TestRulesCoverEveryCode keeps the Rules metadata in sync with the code
+// constants: every code a fixture exercises must have a rules entry.
+func TestRulesCoverEveryCode(t *testing.T) {
+	byCode := map[string]Rule{}
+	for _, r := range Rules() {
+		byCode[r.Code] = r
+	}
+	for i := 1; i <= 18; i++ {
+		code := fmt.Sprintf("HPF%03d", i)
+		if _, ok := byCode[code]; !ok {
+			t.Errorf("Rules() missing %s", code)
+		}
+	}
+	if len(byCode) != 18 {
+		t.Errorf("Rules() has %d entries, want 18", len(byCode))
+	}
+}
+
 func analyze(t *testing.T, src string) []Diagnostic {
 	t.Helper()
 	sc, err := ast.Parse(src)
@@ -100,22 +146,34 @@ func analyze(t *testing.T, src string) []Diagnostic {
 	return Analyze(sc)
 }
 
+// withCode filters diagnostics to one code, for tests that probe a
+// single pass against scripts other passes also have opinions about.
+func withCode(diags []Diagnostic, code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // TestDistributionTracking shows the commcost lint consulting the
 // *current* layout: a copy that is all-to-all before a redistribute is
 // clean after it, and vice versa.
 func TestDistributionTracking(t *testing.T) {
-	diags := analyze(t, `
+	diags := withCode(analyze(t, `
 processors P(4)
 array A(64) distribute cyclic(8) onto P
 array B(64) distribute cyclic(8) onto P
 B(0:9) = A(0:9)
 redistribute B cyclic(2)
 B(0:9) = A(0:9)
-`)
+`), CodeAllToAll)
 	if len(diags) != 1 {
-		t.Fatalf("want exactly 1 diagnostic, got %v", diags)
+		t.Fatalf("want exactly 1 HPF010, got %v", diags)
 	}
-	if diags[0].Code != CodeAllToAll || diags[0].Line != 7 {
+	if diags[0].Line != 7 {
 		t.Errorf("want HPF010 at line 7 (after redistribute), got %v", diags[0])
 	}
 }
@@ -125,19 +183,57 @@ B(0:9) = A(0:9)
 func TestBlockAndCyclicResolve(t *testing.T) {
 	// block over 4 procs of 64 cells is cyclic(16); cyclic is cyclic(1):
 	// both differ from cyclic(16)? no — A block == C cyclic(16) matches.
-	diags := analyze(t, `
+	diags := withCode(analyze(t, `
 processors P(4)
 array A(64) distribute block onto P
 array B(64) distribute cyclic onto P
 array C(64) distribute cyclic(16) onto P
 C(0:9) = A(0:9)
 B(0:9) = A(0:9)
-`)
+`), CodeAllToAll)
 	if len(diags) != 1 {
-		t.Fatalf("want 1 diagnostic, got %v", diags)
+		t.Fatalf("want 1 HPF010, got %v", diags)
 	}
-	if diags[0].Code != CodeAllToAll || diags[0].Line != 7 {
+	if diags[0].Line != 7 {
 		t.Errorf("want HPF010 on the block->cyclic copy only, got %v", diags[0])
+	}
+}
+
+// TestDistributionTracking2D checks the Layout-per-dimension path: a 2-D
+// copy whose layouts agree in one dimension and disagree in the other is
+// flagged only for the mismatched dimension, and unknown layouts (grid
+// never declared) suppress the check dimension-wise.
+func TestDistributionTracking2D(t *testing.T) {
+	diags := withCode(analyze(t, `
+processors Q(2,2)
+array M(8,12) distribute (cyclic(2),cyclic(3)) onto Q
+array N(8,12) distribute (cyclic(4),cyclic(3)) onto Q
+M = 1.0
+N(0:7, 0:11) = M(0:7, 0:11)
+sum N(0:7, 0:11)
+`), CodeAllToAll)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 HPF010, got %v", diags)
+	}
+	if diags[0].Line != 6 || !strings.Contains(diags[0].Message, "(dim 0)") {
+		t.Errorf("want HPF010 on dim 0 of the copy, got %v", diags[0])
+	}
+
+	// U's grid R is never declared: both of U's layouts are unknown, so
+	// the copy into U must produce no layout-sensitive diagnostics even
+	// though M's layouts are fully known.
+	diags = analyze(t, `
+processors Q(2,2)
+array M(8,12) distribute (cyclic(2),cyclic(3)) onto Q
+array U(8,12) distribute (cyclic(2),cyclic(3)) onto R
+M = 1.0
+U(0:7, 0:11) = M(0:7, 0:11)
+sum U(0:7, 0:11)
+`)
+	for _, d := range diags {
+		if d.Code != CodeUndeclaredProcs {
+			t.Errorf("unknown-grid script should only report HPF002, got %v", d)
+		}
 	}
 }
 

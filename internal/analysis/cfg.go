@@ -1,0 +1,84 @@
+package analysis
+
+import "repro/internal/lang/ast"
+
+// This file defines the control-flow graph the dataflow passes iterate
+// over. A mini-HPF script is straight-line code today, so BuildCFG
+// produces a single body block between a synthetic entry and exit; the
+// graph shape (multiple successors, back edges) is nevertheless fully
+// general, because the upcoming FORALL loop nests will introduce real
+// branching and the fixed-point solver in dataflow.go must not care.
+
+// Block is one basic block: a maximal straight-line statement sequence
+// with edges to its successors.
+type Block struct {
+	Index        int
+	Stmts        []ast.Stmt
+	Succs, Preds []int
+}
+
+// CFG is a control-flow graph over a script's statements. Entry and Exit
+// are synthetic empty blocks, so boundary dataflow facts have a home even
+// when the body is empty or ill-formed.
+type CFG struct {
+	Blocks []*Block
+	Entry  int
+	Exit   int
+}
+
+// BuildCFG lowers a script to its control-flow graph. With no control
+// flow in the language yet this is entry -> body -> exit; FORALL will
+// split the body at loop headers.
+func BuildCFG(sc *ast.Script) *CFG {
+	g := &CFG{
+		Blocks: []*Block{
+			{Index: 0},
+			{Index: 1, Stmts: sc.Stmts},
+			{Index: 2},
+		},
+		Entry: 0,
+		Exit:  2,
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	return g
+}
+
+// AddEdge records a control-flow edge from block a to block b.
+func (g *CFG) AddEdge(a, b int) {
+	g.Blocks[a].Succs = append(g.Blocks[a].Succs, b)
+	g.Blocks[b].Preds = append(g.Blocks[b].Preds, a)
+}
+
+// ReversePostOrder returns the block indices in reverse post-order from
+// the entry: the iteration order that makes forward dataflow converge in
+// one pass over acyclic graphs and quickly otherwise.
+func (g *CFG) ReversePostOrder() []int {
+	post := g.postOrder()
+	out := make([]int, len(post))
+	for i, b := range post {
+		out[len(post)-1-i] = b
+	}
+	return out
+}
+
+// PostOrder returns the block indices in post-order from the entry — the
+// natural iteration order for backward problems.
+func (g *CFG) PostOrder() []int { return g.postOrder() }
+
+func (g *CFG) postOrder() []int {
+	seen := make([]bool, len(g.Blocks))
+	var out []int
+	var walk func(int)
+	walk = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				walk(s)
+			}
+		}
+		out = append(out, b)
+	}
+	walk(g.Entry)
+	return out
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/section"
+)
+
+// TestSolveFixedPointOnLoop hand-builds a CFG with a back edge — the
+// shape FORALL will produce — and checks both concrete problems converge
+// to the conservative fixed point rather than the single-pass answer.
+func TestSolveFixedPointOnLoop(t *testing.T) {
+	sc, err := ast.Parse(`
+processors P(4)
+array A(64) distribute cyclic(4) onto P
+A = 1.0
+redistribute A cyclic(8)
+sum A(0:9)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry -> prologue -> loop{redistribute; sum} -> exit, with the loop
+	// block feeding back into itself.
+	g := &CFG{Blocks: []*Block{
+		{Index: 0},
+		{Index: 1, Stmts: sc.Stmts[:3]},
+		{Index: 2, Stmts: sc.Stmts[3:]},
+		{Index: 3},
+	}, Entry: 0, Exit: 3}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 2)
+	g.AddEdge(2, 3)
+
+	fp := flowProblem()
+	sol := Solve(g, fp)
+	in := sol.In[2].arrays["A"]
+	if in == nil {
+		t.Fatal("A missing from the loop-header fact")
+	}
+	// The first iteration enters the loop with cyclic(4); the back edge
+	// brings cyclic(8). The join must stabilize at unknown, not at
+	// whichever layout was seen first.
+	if in.layouts[0].known() {
+		t.Errorf("loop-header layout should join to unknown, got %+v", in.layouts[0])
+	}
+	if in.def != DefFull {
+		t.Errorf("A is fully written on every path to the loop, got def=%d", in.def)
+	}
+	exit := sol.Out[g.Exit].arrays["A"]
+	if exit == nil || exit.layouts[0].known() {
+		t.Errorf("exit layout should be unknown after the loop, got %+v", exit)
+	}
+
+	lp := liveProblem(sol.Out[g.Exit].lookup)
+	lsol := Solve(g, lp)
+	// At the bottom of the loop block control may loop back to the sum,
+	// so the next observation of A must be "read", not "end of script".
+	if v := lsol.Out[2].get("A"); v.kind != obsRead {
+		t.Errorf("loop bottom: next observation of A = %d, want obsRead", v.kind)
+	}
+}
+
+// TestVisitOrderRecoversFacts checks VisitForward/VisitBackward agree on
+// statement order, so checkDataflow's index pairing is sound.
+func TestVisitOrderRecoversFacts(t *testing.T) {
+	sc, err := ast.Parse(`
+processors P(4)
+array A(64) distribute cyclic(4) onto P
+A = 1.0
+sum A(0:9)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCFG(sc)
+	fp := flowProblem()
+	fsol := Solve(g, fp)
+	var fwd []ast.Stmt
+	VisitForward(g, fp, fsol, func(_ *flowState, st ast.Stmt) { fwd = append(fwd, st) })
+	lp := liveProblem(fsol.Out[g.Exit].lookup)
+	lsol := Solve(g, lp)
+	var bwd []ast.Stmt
+	VisitBackward(g, lp, lsol, func(_ *liveState, st ast.Stmt) { bwd = append(bwd, st) })
+	if len(fwd) != len(sc.Stmts) || len(bwd) != len(sc.Stmts) {
+		t.Fatalf("visitors saw %d/%d statements, want %d", len(fwd), len(bwd), len(sc.Stmts))
+	}
+	for i := range fwd {
+		if fwd[i] != sc.Stmts[i] || bwd[i] != sc.Stmts[i] {
+			t.Errorf("statement %d visited out of order", i)
+		}
+	}
+}
+
+func sec(lo, hi, stride int64) section.Section {
+	return section.Section{Lo: lo, Hi: hi, Stride: stride}
+}
+
+func TestCoveredBy(t *testing.T) {
+	mk := func(s section.Section) secRef { return secRef{name: "A", secs: []section.Section{s}} }
+	cases := []struct {
+		a, b secRef
+		want bool
+	}{
+		{mk(sec(0, 31, 2)), mk(sec(0, 63, 1)), true},  // stride 2 inside stride 1
+		{mk(sec(0, 63, 1)), mk(sec(0, 31, 2)), false}, // dense not inside strided
+		{mk(sec(4, 28, 8)), mk(sec(0, 60, 4)), true},  // stride multiple, aligned
+		{mk(sec(5, 29, 8)), mk(sec(0, 60, 4)), false}, // misaligned phase
+		{mk(sec(0, 9, 1)), mk(sec(2, 11, 1)), false},  // sticks out on the left
+		{mk(sec(0, 9, 1)), secRef{name: "A", full: true}, true},
+	}
+	for i, c := range cases {
+		if got := c.a.coveredBy(c.b); got != c.want {
+			t.Errorf("case %d: coveredBy = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMovedEstimate(t *testing.T) {
+	c8 := []Layout{{P: 4, K: 8}}
+	c16 := []Layout{{P: 4, K: 16}}
+	whole := []section.Section{sec(0, 319, 1)}
+	// Redistributing 320 elements from cyclic(8) to cyclic(16) on 4
+	// procs relocates exactly 3/4 of them (period 64: blocks 8..55 move).
+	if got := movedEstimate(c16, whole, c8, whole); got != 240 {
+		t.Errorf("redistribute estimate = %d, want 240", got)
+	}
+	// Identical layout, aligned sections: nothing moves.
+	if got := movedEstimate(c8, []section.Section{sec(0, 9, 1)}, c8, []section.Section{sec(0, 9, 1)}); got != 0 {
+		t.Errorf("aligned copy estimate = %d, want 0", got)
+	}
+	// Shift by one full block: every element changes owner.
+	if got := movedEstimate(c8, []section.Section{sec(0, 311, 1)}, c8, []section.Section{sec(8, 319, 1)}); got != 312 {
+		t.Errorf("shifted copy estimate = %d, want 312", got)
+	}
+	// Unknown layouts contribute nothing rather than guessing.
+	if got := movedEstimate([]Layout{{}}, whole, c8, whole); got != 0 {
+		t.Errorf("unknown layout estimate = %d, want 0", got)
+	}
+}

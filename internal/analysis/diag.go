@@ -39,7 +39,45 @@ const (
 	CodeAllToAll        = "HPF010" // copy between incompatible layouts
 	CodeZeroStride      = "HPF011" // zero stride in a triplet
 	CodeTableProc       = "HPF012" // table processor outside 0..p-1
+	CodeNoopRedist      = "HPF013" // redistribute to the layout the array already has
+	CodeDeadRedist      = "HPF014" // redistributed layout never observed
+	CodeDeadStore       = "HPF015" // store fully overwritten before any read
+	CodeUninit          = "HPF016" // array possibly read before any write
+	CodeLayoutFix       = "HPF017" // one layout change makes a flagged copy comm-free
+	CodeCommBudget      = "HPF018" // redistributes out-traffic all section copies
 )
+
+// Rule is the stable metadata for one diagnostic code, shared by the
+// README table, the SARIF rules array and editor integrations.
+type Rule struct {
+	Code     string
+	Severity Severity
+	Summary  string
+}
+
+// Rules returns every diagnostic the analyzer can produce, in code order.
+func Rules() []Rule {
+	return []Rule{
+		{CodeSyntax, Error, "statement does not parse"},
+		{CodeUndeclaredProcs, Error, "undeclared processor arrangement or grid"},
+		{CodeUndeclaredArray, Error, "reference to an undeclared array"},
+		{CodeRedeclared, Error, "processors or array declared twice"},
+		{CodeBounds, Error, "section outside the declared extent"},
+		{CodeEmptySection, Warning, "section selects no elements"},
+		{CodeNegativeStride, Warning, "descending section (reversed traversal order)"},
+		{CodeShape, Error, "rank or element-count non-conformance"},
+		{CodeOverflow, Error, "int64 overflow in lattice parameters"},
+		{CodeAllToAll, Warning, "copy between incompatible cyclic(k) layouts forces all-to-all communication"},
+		{CodeZeroStride, Error, "zero stride in a section triplet"},
+		{CodeTableProc, Error, "table processor outside the arrangement"},
+		{CodeNoopRedist, Warning, "redundant redistribute: the array already has the target layout"},
+		{CodeDeadRedist, Warning, "dead redistribute: the new layout is never observed"},
+		{CodeDeadStore, Warning, "dead store: every element is overwritten before any read"},
+		{CodeUninit, Warning, "array may be read before any element is written"},
+		{CodeLayoutFix, Warning, "a single cyclic(k) change would make this copy communication-free"},
+		{CodeCommBudget, Warning, "redistributes move more estimated traffic than all section copies combined"},
+	}
+}
 
 // Diagnostic is one analyzer finding, anchored to a source position.
 type Diagnostic struct {

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/ast"
+)
+
+// This file is the autofix engine behind hpflint -fix. Only provably
+// safe rewrites are applied: deleting redistribute statements flagged
+// HPF013 (no-op) or HPF014 (dead) — a redistribute never changes array
+// contents, so removing one the analysis proves unobserved preserves the
+// program's results. Each deletion is verified by re-linting: a fix that
+// would surface any diagnostic not already present (for example an
+// HPF010 on a later copy that the deleted redistribute was paying for)
+// is rejected.
+
+// Fix records one applied rewrite.
+type Fix struct {
+	Line int    // 1-based line replaced
+	Code string // the diagnostic that justified it (HPF013/HPF014)
+	Old  string // the original statement text
+}
+
+// diagKey identifies a diagnostic for the re-lint subset check. Fixes
+// replace lines with comments, so positions are stable across rewrites.
+type diagKey struct {
+	line, col int
+	code      string
+	msg       string
+}
+
+func diagSet(diags []Diagnostic) map[diagKey]bool {
+	set := make(map[diagKey]bool, len(diags))
+	for _, d := range diags {
+		set[diagKey{d.Line, d.Col, d.Code, d.Message}] = true
+	}
+	return set
+}
+
+// introducesNew reports whether got contains any diagnostic absent from
+// base — the safety condition a candidate fix must not violate.
+func introducesNew(got []Diagnostic, base map[diagKey]bool) bool {
+	for _, d := range got {
+		if !base[diagKey{d.Line, d.Col, d.Code, d.Message}] {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyFixes deletes redistribute statements flagged HPF013/HPF014 from
+// src, replacing each with a comment so line numbers stay stable. The
+// candidates are applied one at a time in line order; a candidate whose
+// removal would introduce any diagnostic not present in the original
+// report is skipped. It returns the (possibly unchanged) source and the
+// fixes that were applied.
+func ApplyFixes(src string) (string, []Fix) {
+	diags := AnalyzeSource(src)
+
+	// Map each fixable diagnostic to its statement; only redistribute
+	// statements qualify, and the parse tree is the authority on what is
+	// on a line — never the raw text.
+	sc, _ := ast.ParseAll(src)
+	redistAt := map[int]*ast.Redistribute{}
+	for _, st := range sc.Stmts {
+		if r, ok := st.(*ast.Redistribute); ok {
+			redistAt[r.Pos().Line] = r
+		}
+	}
+	var candidates []Diagnostic
+	for _, d := range diags {
+		if (d.Code == CodeNoopRedist || d.Code == CodeDeadRedist) && redistAt[d.Line] != nil {
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return src, nil
+	}
+
+	lines := strings.Split(src, "\n")
+	base := diagSet(diags)
+	var fixes []Fix
+	seen := map[int]bool{}
+	for _, d := range candidates {
+		if d.Line < 1 || d.Line > len(lines) || seen[d.Line] {
+			continue
+		}
+		seen[d.Line] = true
+		old := lines[d.Line-1]
+		lines[d.Line-1] = fmt.Sprintf("! hpflint -fix [%s]: removed %s", d.Code, strings.TrimSpace(old))
+		if introducesNew(AnalyzeSource(strings.Join(lines, "\n")), base) {
+			lines[d.Line-1] = old // unsafe: this redistribute pays for something downstream
+			continue
+		}
+		fixes = append(fixes, Fix{Line: d.Line, Code: d.Code, Old: strings.TrimSpace(old)})
+	}
+	if len(fixes) == 0 {
+		return src, nil
+	}
+	return strings.Join(lines, "\n"), fixes
+}

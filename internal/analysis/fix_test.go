@@ -1,0 +1,107 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/lang"
+	"repro/internal/lang/ast"
+)
+
+// gatherAll executes src and returns the global contents of every 1-D
+// array it declares.
+func gatherAll(t *testing.T, src string) map[string][]float64 {
+	t.Helper()
+	in := lang.New()
+	if err := in.Run(src); err != nil {
+		t.Fatalf("interpreter: %v", err)
+	}
+	sc, _ := ast.ParseAll(src)
+	out := map[string][]float64{}
+	for _, st := range sc.Stmts {
+		d, ok := st.(*ast.ArrayDecl)
+		if !ok || len(d.Extents) != 1 {
+			continue
+		}
+		if arr, ok := in.Array(d.Name); ok {
+			out[d.Name] = arr.Gather()
+		}
+	}
+	return out
+}
+
+// TestApplyFixesOnFixtures is the acceptance gate for -fix: the HPF013
+// and HPF014 fixtures must re-lint clean after fixing and execute to
+// identical final array contents.
+func TestApplyFixesOnFixtures(t *testing.T) {
+	for _, name := range []string{"hpf013_noop_redist.hpf", "hpf014_dead_redist.hpf"} {
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			fixed, fixes := analysis.ApplyFixes(src)
+			if len(fixes) == 0 {
+				t.Fatal("expected fixes to apply")
+			}
+			if diags := analysis.AnalyzeSource(fixed); len(diags) != 0 {
+				t.Errorf("fixed script should re-lint clean, got %v", diags)
+			}
+			if got, want := len(strings.Split(fixed, "\n")), len(strings.Split(src, "\n")); got != want {
+				t.Errorf("fix changed line count: %d -> %d", want, got)
+			}
+			before := gatherAll(t, src)
+			after := gatherAll(t, fixed)
+			if !reflect.DeepEqual(before, after) {
+				t.Errorf("fix changed program results:\nbefore: %v\nafter:  %v", before, after)
+			}
+			for _, f := range fixes {
+				if !strings.HasPrefix(f.Old, "redistribute") {
+					t.Errorf("fix removed a non-redistribute statement: %+v", f)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyFixesRejectsUnsafe: deleting a dead redistribute that a later
+// copy's layout compatibility depends on would surface a new HPF010, so
+// the engine must refuse it.
+func TestApplyFixesRejectsUnsafe(t *testing.T) {
+	src := `processors P(4)
+array A(64) distribute cyclic(4) onto P
+array B(64) distribute cyclic(8) onto P
+A = 1.0
+redistribute B cyclic(4)
+B(0:63) = A(0:63)
+`
+	diags := analysis.AnalyzeSource(src)
+	hasDead := false
+	for _, d := range diags {
+		if d.Code == analysis.CodeDeadRedist {
+			hasDead = true
+		}
+	}
+	if !hasDead {
+		t.Fatalf("setup: expected an HPF014 candidate, got %v", diags)
+	}
+	fixed, fixes := analysis.ApplyFixes(src)
+	if len(fixes) != 0 || fixed != src {
+		t.Errorf("unsafe fix was applied: %+v\n%s", fixes, fixed)
+	}
+}
+
+// TestApplyFixesNoCandidates: scripts without fixable diagnostics pass
+// through untouched.
+func TestApplyFixesNoCandidates(t *testing.T) {
+	src := "processors P(4)\narray A(8) distribute cyclic(2) onto P\nA = 1.0\nsum A(0:7)\n"
+	fixed, fixes := analysis.ApplyFixes(src)
+	if fixed != src || len(fixes) != 0 {
+		t.Errorf("clean script was rewritten: %+v", fixes)
+	}
+}

@@ -58,6 +58,13 @@ func checkDecls(c *Checker, st ast.Stmt) {
 			c.Report(CodeShape, Error, s.Pos(), fmt.Sprintf(
 				"redistribute supports only 1-D arrays; %s is %d-D", s.Name, info.Rank()))
 		}
+	case *ast.Stats:
+		// The interpreter refuses stats before any machine exists; a
+		// clean analysis must imply a clean run.
+		if c.flatName == "" && len(c.grids) == 0 {
+			c.Report(CodeUndeclaredProcs, Error, s.Pos(),
+				"stats before any processors declaration")
+		}
 	default:
 		for _, ref := range ast.Refs(st) {
 			if c.arrays[ref.Name] == nil {

@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/intmath"
+	"repro/internal/lang/ast"
+	"repro/internal/section"
+)
+
+// This file is the reporting half of the dataflow layer: it solves the
+// forward definedness×layout problem and the backward liveness problem
+// from dataflow.go over the script's CFG, then walks the statements once
+// emitting the communication-waste diagnostics HPF013–HPF018. Everything
+// here is a warning: the constructs are legal, they just pay for
+// communication (or computation) nobody observes.
+
+// checkDataflow is the Finish hook of the "dataflow" pass.
+func checkDataflow(c *Checker, sc *ast.Script) {
+	g := BuildCFG(sc)
+
+	fp := flowProblem()
+	fsol := Solve(g, fp)
+	final := fsol.Out[g.Exit]
+
+	lp := liveProblem(final.lookup)
+	lsol := Solve(g, lp)
+
+	// Pair each statement with its before-forward and after-backward
+	// facts. Both visitors walk the same control-flow order, so a shared
+	// index lines them up.
+	var before []*flowState
+	VisitForward(g, fp, fsol, func(f *flowState, st ast.Stmt) {
+		before = append(before, f)
+	})
+	var after []*liveState
+	VisitBackward(g, lp, lsol, func(l *liveState, st ast.Stmt) {
+		after = append(after, l)
+	})
+
+	w := &wasteWalker{c: c}
+	idx := 0
+	VisitForward(g, fp, fsol, func(_ *flowState, st ast.Stmt) {
+		w.visit(before[idx], after[idx], st)
+		idx++
+	})
+	w.reportBudget()
+}
+
+// wasteWalker accumulates whole-script communication totals while the
+// per-statement diagnostics fire.
+type wasteWalker struct {
+	c           *Checker
+	copyMoved   int64 // estimated elements moved by section copies/ops
+	redistMoved int64 // estimated elements moved by redistributes
+	heavy       *ast.Redistribute
+	heavyMoved  int64
+}
+
+func (w *wasteWalker) visit(before *flowState, after *liveState, st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.Redistribute:
+		w.visitRedistribute(before, after, s)
+	case *ast.Assign:
+		w.visitAssign(before, after, s)
+	}
+	w.checkUninit(before, st)
+}
+
+// visitRedistribute emits HPF013 (no-op) and HPF014 (dead), and adds the
+// redistribute's estimated traffic to the budget.
+func (w *wasteWalker) visitRedistribute(before *flowState, after *liveState, s *ast.Redistribute) {
+	af := before.arrays[s.Name]
+	if af == nil || af.info.Rank() != 1 {
+		return // HPF003/HPF008 already fired
+	}
+	ext := af.info.Extents[0]
+	cur := af.layouts[0]
+	if cur.known() {
+		next := resolveLayout(s.Dist, cur.P, ext)
+		if next == cur {
+			w.c.Report(CodeNoopRedist, Warning, s.Pos(), fmt.Sprintf(
+				"redundant redistribute: %s already has layout %s", s.Name, layoutStr(cur)))
+			return // a no-op moves nothing and is trivially "dead" too
+		}
+		whole := []section.Section{{Lo: 0, Hi: ext - 1, Stride: 1}}
+		moved := movedEstimate([]Layout{next}, whole, []Layout{cur}, whole)
+		w.redistMoved += moved
+		if moved > w.heavyMoved {
+			w.heavy, w.heavyMoved = s, moved
+		}
+	}
+
+	switch v := after.get(s.Name); v.kind {
+	case obsOverwrite:
+		w.c.Report(CodeDeadRedist, Warning, s.Pos(), fmt.Sprintf(
+			"dead redistribute: %s is fully overwritten at line %d before its new layout is read",
+			s.Name, v.line))
+	case obsRedist:
+		w.c.Report(CodeDeadRedist, Warning, s.Pos(), fmt.Sprintf(
+			"dead redistribute: %s is redistributed again at line %d before being read",
+			s.Name, v.line))
+	case obsEnd:
+		w.c.Report(CodeDeadRedist, Warning, s.Pos(), fmt.Sprintf(
+			"dead redistribute: %s is never read afterwards", s.Name))
+	}
+}
+
+// visitAssign emits HPF015 (dead store) and HPF017 (layout suggestion)
+// and adds copy traffic to the budget.
+func (w *wasteWalker) visitAssign(before *flowState, after *liveState, s *ast.Assign) {
+	dst, dstOK := resolveRef(before.lookup(s.LHS.Name), s.LHS)
+	if !dstOK {
+		return
+	}
+	w.checkDeadStore(after, s, dst)
+
+	daf := before.arrays[s.LHS.Name]
+	switch rhs := s.RHS.(type) {
+	case *ast.Ref:
+		src, ok := resolveRef(before.lookup(rhs.Name), rhs)
+		if !ok {
+			return
+		}
+		saf := before.arrays[rhs.Name]
+		w.copyMoved += movedEstimate(daf.layouts, dst.secs, saf.layouts, src.secs)
+		w.suggestLayout(s, dst, daf, src, saf)
+	case *ast.Transpose:
+		src, ok := resolveRef(before.lookup(rhs.Src.Name), rhs.Src)
+		if !ok || len(src.secs) != 2 || len(dst.secs) != 2 {
+			return
+		}
+		saf := before.arrays[rhs.Src.Name]
+		// Element (i, j) of the destination rect pairs with element
+		// (j, i) of the source rect, so compare against swapped dims.
+		w.copyMoved += movedEstimate(daf.layouts, dst.secs,
+			[]Layout{saf.layouts[1], saf.layouts[0]},
+			[]section.Section{src.secs[1], src.secs[0]})
+	case *ast.Binary:
+		operands := []*ast.Ref{rhs.Left}
+		if r, ok := rhs.Right.(*ast.Ref); ok {
+			operands = append(operands, r)
+		}
+		for _, op := range operands {
+			src, ok := resolveRef(before.lookup(op.Name), op)
+			if !ok {
+				continue
+			}
+			saf := before.arrays[op.Name]
+			w.copyMoved += movedEstimate(daf.layouts, dst.secs, saf.layouts, src.secs)
+		}
+	}
+}
+
+// checkDeadStore fires HPF015 when every element this statement writes is
+// overwritten by later writes before any read. The backward fact's
+// pending list holds exactly those later writes.
+func (w *wasteWalker) checkDeadStore(after *liveState, s *ast.Assign, dst secRef) {
+	switch s.RHS.(type) {
+	case *ast.Scalar, *ast.Ref:
+	default:
+		return // keep the diagnostic to plain fills and copies
+	}
+	total := int64(1)
+	for _, sec := range dst.secs {
+		total *= sec.Count()
+	}
+	if total == 0 {
+		return // HPF006 covers empty sections
+	}
+	for _, pw := range after.get(dst.name).pending {
+		if dst.coveredBy(pw.ref) {
+			w.c.Report(CodeDeadStore, Warning, s.Pos(), fmt.Sprintf(
+				"dead store: every element of %s is overwritten at line %d before any read",
+				s.LHS, pw.line))
+			return
+		}
+	}
+}
+
+// suggestLayout fires HPF017 for a plain copy that checkCommCost flagged
+// HPF010 (same processor count, different k) when the sections are
+// aligned such that redistributing the destination to the source's
+// cyclic(k) makes the copy communication-free: identical strides and
+// counts, and an offset that is a multiple of the source layout's period
+// p·k, so corresponding elements always land on the same processor.
+func (w *wasteWalker) suggestLayout(s *ast.Assign, dst secRef, daf *arrayFlow, src secRef, saf *arrayFlow) {
+	if daf == nil || saf == nil || len(dst.secs) != 1 || len(src.secs) != 1 {
+		return
+	}
+	dl, sl := daf.layouts[0], saf.layouts[0]
+	if !dl.known() || !sl.known() || dl.P != sl.P || dl.K == sl.K {
+		return
+	}
+	ds, ss := dst.secs[0], src.secs[0]
+	if ds.Empty() || ss.Empty() || ds.Stride != ss.Stride || ds.Count() != ss.Count() {
+		return
+	}
+	period, err := intmath.MulChecked(sl.P, sl.K)
+	if err != nil || (ds.Lo-ss.Lo)%period != 0 {
+		return
+	}
+	lcm, err := intmath.LCM(dl.P*dl.K, period)
+	if err != nil {
+		lcm = 0
+	}
+	msg := fmt.Sprintf(
+		"redistribute %s cyclic(%d) before this copy to make it communication-free: "+
+			"the sections are aligned, but cyclic(%d)/cyclic(%d) owners realign only every %d elements",
+		dst.name, sl.K, dl.K, sl.K, lcm)
+	if lcm == 0 {
+		msg = fmt.Sprintf(
+			"redistribute %s cyclic(%d) before this copy to make it communication-free: "+
+				"the sections are aligned but the layouts interleave", dst.name, sl.K)
+	}
+	w.c.Report(CodeLayoutFix, Warning, s.Pos(), msg)
+}
+
+// checkUninit fires HPF016 when a statement reads an array no element of
+// which has provably been written. Table is exempt: it observes the
+// layout, not the values.
+func (w *wasteWalker) checkUninit(before *flowState, st ast.Stmt) {
+	if _, ok := st.(*ast.Table); ok {
+		return
+	}
+	reads, _ := effects(before.lookup, st)
+	seen := map[string]bool{}
+	for _, r := range reads {
+		if seen[r.name] {
+			continue
+		}
+		seen[r.name] = true
+		if af := before.arrays[r.name]; af != nil && af.def == DefUnwritten {
+			w.c.Report(CodeUninit, Warning, st.Pos(), fmt.Sprintf(
+				"array %s may be read before any element has been written", r.name))
+		}
+	}
+}
+
+// reportBudget fires HPF018 once per script, anchored at the heaviest
+// redistribute, when redistributes move more estimated traffic than all
+// section copies combined. Scripts whose copies move nothing are exempt:
+// with no copies to optimize for, a redistribute's cost has no baseline
+// to compare against.
+func (w *wasteWalker) reportBudget() {
+	if w.heavy == nil || w.copyMoved <= 0 || w.redistMoved <= w.copyMoved {
+		return
+	}
+	w.c.Report(CodeCommBudget, Warning, w.heavy.Pos(), fmt.Sprintf(
+		"redistributes move an estimated %d elements but all section copies combined move %d; "+
+			"layout changes dominate this script's communication", w.redistMoved, w.copyMoved))
+}
+
+// ---------------------------------------------------------------------------
+// Traffic estimation.
+
+// sampleCap bounds the per-dimension owner sampling work; beyond it the
+// sampled fraction is scaled to the full element count.
+const sampleCap = 4096
+
+// coordCap guards the owner arithmetic: sections with coordinates beyond
+// it (necessarily out of bounds for any plausible array, and reported by
+// HPF005/HPF009) are excluded from estimates.
+const coordCap = int64(1) << 40
+
+// owner returns the processor that holds global index i under l.
+func owner(l Layout, i int64) int64 {
+	return intmath.FloorDiv(i, l.K) % l.P
+}
+
+// movedEstimate estimates how many of the paired elements of two
+// equally-shaped references live on different processors — the elements a
+// copy (or a redistribute, with both sections the whole array) must move.
+// Dimensions are sampled independently; the aligned fraction of the whole
+// rectangle is the product of the per-dimension aligned fractions, which
+// is exact for the separable owner function (i/k) mod p. Returns 0 when
+// any layout is unknown or the shapes disagree (other passes report
+// those).
+func movedEstimate(dstL []Layout, dstS []section.Section, srcL []Layout, srcS []section.Section) int64 {
+	if len(dstL) != len(dstS) || len(srcL) != len(srcS) || len(dstL) != len(srcL) {
+		return 0
+	}
+	total := int64(1)
+	sameFrac := 1.0
+	for d := range dstS {
+		if !dstL[d].known() || !srcL[d].known() {
+			return 0
+		}
+		a, b := dstS[d], srcS[d]
+		n := min(a.Count(), b.Count())
+		if n <= 0 {
+			return 0
+		}
+		if outOfRange(a) || outOfRange(b) {
+			return 0
+		}
+		var err error
+		if total, err = intmath.MulChecked(total, n); err != nil {
+			return 0
+		}
+		sample := min(n, sampleCap)
+		same := int64(0)
+		for j := int64(0); j < sample; j++ {
+			if owner(dstL[d], a.Element(j)) == owner(srcL[d], b.Element(j)) {
+				same++
+			}
+		}
+		sameFrac *= float64(same) / float64(sample)
+	}
+	return int64(float64(total)*(1-sameFrac) + 0.5)
+}
+
+// outOfRange reports whether a section's coordinates exceed the estimate
+// guard.
+func outOfRange(s section.Section) bool {
+	return s.Lo < -coordCap || s.Lo > coordCap || s.Last() < -coordCap || s.Last() > coordCap
+}

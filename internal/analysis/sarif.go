@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// This file renders diagnostics as SARIF 2.1.0 — the Static Analysis
+// Results Interchange Format CI systems ingest to annotate pull
+// requests. Only the small stable core of the schema is emitted: one run,
+// the tool's rule inventory (Rules), and one result per diagnostic with a
+// physical location.
+
+// FileDiagnostic pairs a diagnostic with the file it was found in, for
+// tools that lint several files in one run.
+type FileDiagnostic struct {
+	File string `json:"file"`
+	Diagnostic
+}
+
+// SortFileDiags orders diagnostics deterministically by (file, line,
+// col, code) — the order hpflint prints and SARIF emits.
+func SortFileDiags(diags []FileDiagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Code < diags[j].Code
+	})
+}
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifText    `json:"shortDescription"`
+	DefaultConfig    sarifDefault `json:"defaultConfiguration"`
+}
+
+type sarifDefault struct {
+	Level string `json:"level"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func sarifLevel(s Severity) string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// SARIF renders the diagnostics as an indented SARIF 2.1.0 log. The
+// diagnostics are emitted in deterministic (file, line, col, code) order.
+func SARIF(toolName, toolVersion string, diags []FileDiagnostic) ([]byte, error) {
+	sorted := append([]FileDiagnostic(nil), diags...)
+	SortFileDiags(sorted)
+
+	rules := make([]sarifRule, 0, 18)
+	for _, r := range Rules() {
+		rules = append(rules, sarifRule{
+			ID:               r.Code,
+			ShortDescription: sarifText{Text: r.Summary},
+			DefaultConfig:    sarifDefault{Level: sarifLevel(r.Severity)},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(sorted))
+	for _, d := range sorted {
+		results = append(results, sarifResult{
+			RuleID:  d.Code,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{Physical: sarifPhysical{
+				Artifact: sarifArtifact{URI: d.File},
+				Region:   sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: toolName, Version: toolVersion, Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

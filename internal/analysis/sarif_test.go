@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestSARIF(t *testing.T) {
+	diags := []analysis.FileDiagnostic{
+		{File: "b.hpf", Diagnostic: analysis.Diagnostic{
+			Code: analysis.CodeBounds, Severity: analysis.Error, Line: 3, Col: 1, Message: "out of bounds"}},
+		{File: "a.hpf", Diagnostic: analysis.Diagnostic{
+			Code: analysis.CodeNoopRedist, Severity: analysis.Warning, Line: 7, Col: 2, Message: "redundant"}},
+	}
+	raw, err := analysis.SARIF("hpflint", "test", diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID            string `json:"id"`
+						DefaultConfig struct {
+							Level string `json:"level"`
+						} `json:"defaultConfiguration"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					Physical struct {
+						Artifact struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "hpflint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 18 {
+		t.Errorf("rules = %d, want 18 (HPF001..HPF018)", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	// Results are sorted by (file, line, col, code): a.hpf first.
+	first := run.Results[0]
+	if first.RuleID != analysis.CodeNoopRedist || first.Level != "warning" {
+		t.Errorf("first result = %+v", first)
+	}
+	loc := first.Locations[0].Physical
+	if loc.Artifact.URI != "a.hpf" || loc.Region.StartLine != 7 || loc.Region.StartColumn != 2 {
+		t.Errorf("first location = %+v", loc)
+	}
+	if second := run.Results[1]; second.RuleID != analysis.CodeBounds || second.Level != "error" {
+		t.Errorf("second result = %+v", second)
+	}
+}

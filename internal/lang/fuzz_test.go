@@ -3,6 +3,9 @@ package lang
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/lang/ast"
 )
 
 // FuzzExec feeds arbitrary statements to an interpreter with a prepared
@@ -85,5 +88,82 @@ func FuzzExec(f *testing.F) {
 			return
 		}
 		_ = in.Exec(stmt)
+	})
+}
+
+// FuzzAnalyzeExec is the differential contract between the static
+// analyzer and the interpreter: on any input the analyzer must not
+// panic, and a script the analyzer passes without error-severity
+// diagnostics must execute without a runtime error. (Warnings are
+// explicitly allowed to run: empty sections, all-to-all copies and dead
+// redistributes are legal programs.)
+func FuzzAnalyzeExec(f *testing.F) {
+	seeds := []string{
+		// clean
+		"processors P(4)\narray A(64) distribute cyclic(4) onto P\nA = 1.0\nsum A(0:63)\n",
+		// warnings only: empty section, cross-distribution copy, dead
+		// redistribute, read of an unwritten array
+		"processors P(2)\narray A(16) distribute cyclic(2) onto P\nA(5:4) = 1.0\nsum A\n",
+		"processors P(4)\narray A(64) distribute cyclic(4) onto P\narray B(64) distribute cyclic(8) onto P\nA = 1.0\nB(0:63) = A(0:63)\nsum B(0:63)\n",
+		"processors P(4)\narray A(64) distribute cyclic(4) onto P\nA = 1.0\nsum A(0:63)\nredistribute A cyclic(8)\n",
+		"processors P(2)\narray A(8) distribute cyclic(2) onto P\nsum A(0:7)\n",
+		// errors: out of bounds, shape mismatch, undeclared, table rank,
+		// stats before any machine exists
+		"processors P(2)\narray A(8) distribute cyclic(2) onto P\nA(0:50) = 1.0\n",
+		"processors P(2)\narray A(8) distribute cyclic(2) onto P\nA(0:3) = A(0:5)\n",
+		"sum A\n",
+		"processors P(2)\narray A(8) distribute cyclic(2) onto P\nA = 1.0\ntable A(0:7) on 5\n",
+		"stats\n",
+		// parse error
+		"processors P(2)\narray A(8 distribute cyclic(2) onto P\n",
+		// 2-D: transpose, mixed layouts, partial write then read
+		"processors Q(2,2)\narray M(8,8) distribute (cyclic(2),cyclic(2)) onto Q\narray N(8,8) distribute (block,block) onto Q\nM = 2.0\nN(0:7,0:7) = transpose M(0:7,0:7)\nsum N(0:7,0:7)\n",
+		"processors P(4)\narray A(32) distribute cyclic(4) onto P\nA(0:15) = 1.0\nsum A(0:15)\nredistribute A cyclic(4)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2000 {
+			src = src[:2000]
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("analyzer or interpreter panicked on %q: %v", src, r)
+			}
+		}()
+		diags := analysis.AnalyzeSource(src)
+		if analysis.HasErrors(diags) {
+			return // the analyzer rejected it; no execution promise
+		}
+		// Keep the execution side bounded: fuzzed inputs may declare
+		// machines or arrays that are perfectly valid but enormous.
+		sc, perr := ast.ParseAll(src)
+		if len(perr) > 0 || len(sc.Stmts) > 64 {
+			return
+		}
+		for _, st := range sc.Stmts {
+			switch d := st.(type) {
+			case *ast.Processors:
+				total := int64(1)
+				for _, e := range d.Counts {
+					total *= e
+				}
+				if total > 64 {
+					return
+				}
+			case *ast.ArrayDecl:
+				total := int64(1)
+				for _, e := range d.Extents {
+					total *= e
+				}
+				if total > 1<<16 {
+					return
+				}
+			}
+		}
+		if err := New().Run(src); err != nil {
+			t.Fatalf("analyzer-clean script failed at runtime: %v\ndiags: %v\nscript:\n%s", err, diags, src)
+		}
 	})
 }
