@@ -5,6 +5,7 @@
 //	benchtables -figure 7             # Figure 7 series (s = 7)
 //	benchtables -table 2              # Table 2 (node code shapes)
 //	benchtables -cache                # plan-cache cold vs warm families
+//	benchtables -shapes               # generic Figure 8 shapes vs specialized kernels
 //	benchtables -all                  # everything
 //	benchtables -all -json out.json   # also write machine-readable results
 //	benchtables -all -http :8080      # live /metrics, /trace, /healthz during the runs
@@ -35,6 +36,7 @@ func main() {
 		table     = flag.Int("table", 0, "regenerate Table 1 or 2")
 		figure    = flag.Int("figure", 0, "regenerate Figure 7")
 		cache     = flag.Bool("cache", false, "run the plan-cache cold/warm families")
+		shapes    = flag.Bool("shapes", false, "run the shapes matrix (generic Figure 8 shapes vs specialized kernels)")
 		all       = flag.Bool("all", false, "regenerate every table and figure")
 		procs     = flag.Int64("p", 32, "processor count (the paper uses 32)")
 		reps      = flag.Int("reps", 5, "measurement repetitions (min of maxima kept)")
@@ -49,7 +51,7 @@ func main() {
 	)
 	flag.Parse()
 	cfg := config{
-		Table: *table, Figure: *figure, Cache: *cache, All: *all,
+		Table: *table, Figure: *figure, Cache: *cache, Shapes: *shapes, All: *all,
 		Procs: *procs, Reps: *reps, Elems: *elems, JSONPath: *jsonPath,
 		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprofAddr,
 		HTTPAddr: *httpAddr, FaultSpec: *faults, Deadline: *deadline,
@@ -63,6 +65,7 @@ func main() {
 type config struct {
 	Table, Figure int
 	Cache, All    bool
+	Shapes        bool
 	Procs         int64
 	Reps          int
 	Elems         int64
@@ -84,6 +87,7 @@ type report struct {
 	Figure7 []reportRow       `json:"figure7,omitempty"`
 	Table2  []reportTable2Row `json:"table2,omitempty"`
 	Cache   []reportCacheRow  `json:"cache,omitempty"`
+	Shapes  []reportShapeRow  `json:"shapes,omitempty"`
 	// Telemetry is the process-wide registry snapshot taken after the
 	// runs (schema telemetry/v1): cache hit rates, message counts and
 	// comm volumes ride along with the timings.
@@ -111,6 +115,17 @@ type reportTable2Row struct {
 	K       int64            `json:"k"`
 	S       int64            `json:"s"`
 	ShapeNs map[string]int64 `json:"shape_ns"`
+}
+
+type reportShapeRow struct {
+	Family          string           `json:"family"`
+	K               int64            `json:"k"`
+	S               int64            `json:"s"`
+	Elems           int64            `json:"elems"`
+	Kernel          string           `json:"kernel"` // selected specialized kernel kind
+	ShapeNs         map[string]int64 `json:"shape_ns"`
+	SpecializedNs   int64            `json:"specialized_ns"`
+	SpeedupVsShapeB float64          `json:"speedup_vs_shape_b"`
 }
 
 type reportCacheRow struct {
@@ -237,7 +252,7 @@ func runConfig(cfg config) error {
 		if err != nil {
 			return err
 		}
-		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache or -all")
+		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache, -shapes or -all")
 	}
 	if traceFile != nil {
 		if t := telemetry.StopTracing(); t != nil {
@@ -324,6 +339,30 @@ func runBenches(cfg config, rep *report) (did bool, err error) {
 				row.ShapeNs[string(sh)] = d.Nanoseconds()
 			}
 			rep.Table2 = append(rep.Table2, row)
+		}
+	}
+	if cfg.All || cfg.Shapes {
+		results, err := bench.ShapeBench(cfg.Procs, cfg.Elems, cfg.Reps)
+		if err != nil {
+			return did, err
+		}
+		if did {
+			fmt.Println()
+		}
+		fmt.Print(bench.FormatShapeBench(results))
+		did = true
+		for _, r := range results {
+			row := reportShapeRow{
+				Family: r.Family, K: r.K, S: r.S, Elems: r.Elems,
+				Kernel:          r.Kernel.String(),
+				ShapeNs:         make(map[string]int64),
+				SpecializedNs:   r.Specialized.Nanoseconds(),
+				SpeedupVsShapeB: r.Speedup(),
+			}
+			for sh, d := range r.Generic {
+				row.ShapeNs[string(sh)] = d.Nanoseconds()
+			}
+			rep.Shapes = append(rep.Shapes, row)
 		}
 	}
 	if cfg.All || cfg.Cache {

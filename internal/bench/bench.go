@@ -269,6 +269,7 @@ type Table2Result struct {
 type Workload struct {
 	mem         []float64
 	start, last int64
+	count       int64
 	gaps        []int64
 	offTab      core.OffsetTable
 	pr          core.Problem
@@ -293,6 +294,7 @@ func BuildWorkload(p, k, s, m, elems int64) (Workload, error) {
 		mem:    make([]float64, last+1),
 		start:  seq.StartLocal,
 		last:   last,
+		count:  elems,
 		gaps:   seq.Gaps,
 		offTab: offTab,
 		pr:     pr,

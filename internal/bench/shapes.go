@@ -1,0 +1,228 @@
+package bench
+
+// The shapes matrix: generic Figure 8 node code (shapes A–D plus the
+// table-free walker) against the specialized kernels that plan
+// compilation selects, one (k, stride) family per kernel kind. This is
+// the evaluation for the kernel-specialization layer: Table 2 shows the
+// paper's shapes against each other; this matrix shows what compiling
+// the plan into the most specific admissible kernel buys on top.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+)
+
+// ShapeFamily is one (k, stride) workload family of the shapes matrix,
+// chosen so the selector maps it to a specific kernel kind.
+type ShapeFamily struct {
+	Name       string
+	K          int64 // 0 means "smallest power of two > S·elems" (block family)
+	S          int64
+	TablesOnly bool               // compile without a gap list (memory-frugal plan)
+	Want       codegen.KernelKind // expected selection (informational)
+}
+
+// ShapeFamilies returns the benchmark families, one per specialized
+// kernel kind plus a generic-fallback control. Strides are chosen so
+// the AM table stays non-uniform for power-of-two processor counts:
+// k·(p−1) ≡ 0 (mod s) collapses a family to const gap (the boundary
+// gap equals s too), e.g. (k=4, s=7) at p = 8.
+func ShapeFamilies() []ShapeFamily {
+	return []ShapeFamily{
+		{Name: "cyclic1", K: 1, S: 3, Want: codegen.KindConstGap},
+		{Name: "unit-stride", K: 256, S: 1, Want: codegen.KindConstGap},
+		{Name: "block", K: 0, S: 3, Want: codegen.KindConstGap},
+		{Name: "unroll4", K: 4, S: 9, Want: codegen.KindUnrolled},
+		{Name: "unroll8", K: 8, S: 5, Want: codegen.KindUnrolled},
+		{Name: "rowstride", K: 256, S: 5, Want: codegen.KindRowStride},
+		{Name: "offsetdispatch", K: 256, S: 999, TablesOnly: true, Want: codegen.KindOffsetDispatch},
+	}
+}
+
+// blockK returns the smallest power of two large enough that a sweep of
+// elems stride-S assignments stays inside one block row — the block
+// (k ≥ m) distribution family.
+func blockK(s, elems int64) int64 {
+	k := int64(1)
+	for k <= s*elems+1 {
+		k *= 2
+	}
+	return k
+}
+
+// SpecializedKernel compiles the workload's node loop exactly as the
+// hpf plan cache would: spec from the workload's bounds and table, the
+// shared transition tables from the TableSet, deterministic selection.
+// With tablesOnly the gap list is withheld, modelling the memory-frugal
+// plan that runs the 8(d) dispatch off the shared tables alone.
+func (w *Workload) SpecializedKernel(tablesOnly bool) (codegen.Kernel, error) {
+	ts, err := core.NewTableSet(w.pr.P, w.pr.K, w.pr.L, w.pr.S)
+	if err != nil {
+		return codegen.Kernel{}, err
+	}
+	sp := codegen.Spec{
+		Problem: w.pr,
+		Start:   w.start,
+		Last:    w.last,
+		Count:   w.count,
+		Gaps:    w.gaps,
+	}
+	if tablesOnly {
+		sp.Gaps = nil
+	}
+	if delta, next, ok := ts.Transitions(); ok {
+		sp.Delta, sp.Next = delta, next
+	}
+	return codegen.Select(sp), nil
+}
+
+// ShapeBenchResult is the measured matrix row of one family.
+type ShapeBenchResult struct {
+	Family      string
+	K, S        int64
+	Elems       int64
+	Kernel      codegen.KernelKind      // what the selector picked
+	Generic     map[Shape]time.Duration // shapes A–D + walker
+	Specialized time.Duration
+}
+
+// Speedup returns the specialized kernel's speedup over the generic
+// ShapeB baseline (the shape the runtime used before specialization).
+func (r ShapeBenchResult) Speedup() float64 {
+	if r.Specialized <= 0 {
+		return 0
+	}
+	return float64(r.Generic[ShapeB]) / float64(r.Specialized)
+}
+
+// timeSweeps measures one full-sweep operation across all workloads:
+// max over processors of the per-sweep time, minimized over reps, with
+// the sweep batched so each timing window is long enough to trust.
+func timeSweeps(workloads []Workload, reps int, op func(w *Workload) (int64, error)) (time.Duration, error) {
+	const window = 50 * time.Microsecond
+	batch := 1
+	for {
+		w := &workloads[0]
+		t0 := time.Now()
+		for b := 0; b < batch; b++ {
+			n, err := op(w)
+			if err != nil {
+				return 0, err
+			}
+			if n != w.count {
+				return 0, fmt.Errorf("bench: sweep wrote %d of %d elements", n, w.count)
+			}
+		}
+		if el := time.Since(t0); el >= window || batch >= 1<<20 {
+			break
+		}
+		batch *= 2
+	}
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		var worst time.Duration
+		for m := range workloads {
+			w := &workloads[m]
+			t0 := time.Now()
+			for b := 0; b < batch; b++ {
+				if _, err := op(w); err != nil {
+					return 0, err
+				}
+			}
+			el := time.Since(t0) / time.Duration(batch)
+			if el > worst {
+				worst = el
+			}
+		}
+		if worst < best {
+			best = worst
+		}
+	}
+	return best, nil
+}
+
+// ShapeBench measures the full matrix: for each family, every generic
+// Figure 8 shape and the specialized kernel, each sweeping elems
+// assignments per processor (max over processors, min over reps).
+func ShapeBench(p, elems int64, reps int) ([]ShapeBenchResult, error) {
+	var results []ShapeBenchResult
+	for _, fam := range ShapeFamilies() {
+		k := fam.K
+		if k == 0 {
+			k = blockK(fam.S, elems)
+		}
+		workloads := make([]Workload, p)
+		kernels := make([]codegen.Kernel, p)
+		var kind codegen.KernelKind
+		for m := int64(0); m < p; m++ {
+			w, err := BuildWorkload(p, k, fam.S, m, elems)
+			if err != nil {
+				return nil, fmt.Errorf("family %s: %w", fam.Name, err)
+			}
+			kn, err := w.SpecializedKernel(fam.TablesOnly)
+			if err != nil {
+				return nil, fmt.Errorf("family %s: %w", fam.Name, err)
+			}
+			workloads[m] = w
+			kernels[m] = kn
+			if m == 0 {
+				kind = kn.Kind()
+			} else if kn.Kind() != kind {
+				// All processors of a family share (p, k, l, s); selection
+				// differs only through degenerate bounds, which BuildWorkload
+				// rules out.
+				return nil, fmt.Errorf("family %s: kernel kind differs across processors (%v vs %v)",
+					fam.Name, kind, kn.Kind())
+			}
+		}
+		res := ShapeBenchResult{
+			Family: fam.Name, K: k, S: fam.S, Elems: elems,
+			Kernel:  kind,
+			Generic: make(map[Shape]time.Duration),
+		}
+		for _, sh := range Shapes() {
+			sh := sh
+			d, err := timeSweeps(workloads, reps, func(w *Workload) (int64, error) {
+				return w.RunShape(sh)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("family %s shape %s: %w", fam.Name, sh, err)
+			}
+			res.Generic[sh] = d
+		}
+		d, err := timeSweeps(workloads, reps, func(w *Workload) (int64, error) {
+			m := w.pr.M
+			return kernels[m].Fill(w.mem, 1.0), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("family %s specialized: %w", fam.Name, err)
+		}
+		res.Specialized = d
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// FormatShapeBench renders the matrix with the speedup column the
+// acceptance criterion reads (specialized vs generic ShapeB).
+func FormatShapeBench(results []ShapeBenchResult) string {
+	var b strings.Builder
+	b.WriteString("Shapes matrix: generic Figure 8 shapes vs specialized kernels (microseconds per sweep)\n")
+	b.WriteString(fmt.Sprintf("%-16s%8s%6s%16s", "family", "k", "s", "kernel"))
+	for _, sh := range Shapes() {
+		b.WriteString(fmt.Sprintf("%12s", sh))
+	}
+	b.WriteString(fmt.Sprintf("%12s%10s\n", "specialized", "vs 8(b)"))
+	for _, r := range results {
+		b.WriteString(fmt.Sprintf("%-16s%8d%6d%16s", r.Family, r.K, r.S, r.Kernel))
+		for _, sh := range Shapes() {
+			b.WriteString(fmt.Sprintf("%12.1f", us(r.Generic[sh])))
+		}
+		b.WriteString(fmt.Sprintf("%12.1f%9.2fx\n", us(r.Specialized), r.Speedup()))
+	}
+	return b.String()
+}

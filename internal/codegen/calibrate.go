@@ -1,0 +1,149 @@
+package codegen
+
+// Optional one-shot micro-calibration for kernel selection. The static
+// selector (Select) already encodes the paper's cost model, but cache
+// geometry occasionally inverts a close call — e.g. a period-8 unroll
+// on a machine where the generic walk saturates memory bandwidth
+// anyway. With calibration enabled, Compile times the selected kernel
+// against the generic fallback once per kernel *class* (kind, period,
+// stride, block shape) and remembers the winner, so the probe cost is
+// paid once per class per process, not per plan.
+//
+// Calibration is OFF by default: the static choice is a pure function
+// of the spec, and keeping it that way preserves the "selection is
+// deterministic for a given Problem" guarantee. Opt in only when the
+// deployment can tolerate plan-compile times that depend on machine
+// state.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	calibrateFlag atomic.Bool
+	calWinners    sync.Map // calKey -> KernelKind
+	calScratch    sync.Pool
+)
+
+// calKey identifies one kernel class for the winner cache. Two specs
+// with the same class have the same inner-loop structure, so one probe
+// decides for both.
+type calKey struct {
+	kind   KernelKind
+	period int
+	stride int64
+	block  int64
+}
+
+// SetCalibration toggles the one-shot timing probe inside Compile.
+// Disabled by default; see the package comment above for the
+// determinism trade-off.
+func SetCalibration(on bool) { calibrateFlag.Store(on) }
+
+// ResetCalibration forgets every cached probe winner (test hook).
+func ResetCalibration() {
+	calWinners.Range(func(k, _ any) bool {
+		calWinners.Delete(k)
+		return true
+	})
+}
+
+func calibrationOn() bool { return calibrateFlag.Load() }
+
+// calProbeCap bounds the scratch buffer the probe fills, so probing a
+// plan over a huge array does not allocate a huge array.
+const calProbeCap = 1 << 16
+
+// calibrated returns kn, or the generic fallback if the probe says the
+// specialization loses on this machine. Only Unrolled and RowStride are
+// probed — the kinds whose win over the tabled walk depends on cache
+// geometry rather than on strictly doing less work per element.
+func calibrated(sp Spec, kn Kernel) Kernel {
+	switch kn.kind {
+	case KindUnrolled, KindRowStride:
+	default:
+		// None/ConstGap/Generic have nothing cheaper to fall back to, and
+		// OffsetDispatch is only selected for table-only specs, where the
+		// generic contestant (a materialized gap list) does not exist.
+		return kn
+	}
+	key := calKey{kind: kn.kind, period: len(sp.Gaps), stride: sp.Problem.S, block: sp.Problem.K}
+	if w, ok := calWinners.Load(key); ok {
+		if w.(KernelKind) == KindGeneric {
+			return genericKernel(sp)
+		}
+		return kn
+	}
+	winner := probe(sp, kn)
+	calWinners.Store(key, winner)
+	if winner == KindGeneric {
+		return genericKernel(sp)
+	}
+	return kn
+}
+
+// probe times a bounded fill through the specialized kernel and the
+// generic fallback and returns the faster kind. Both run on the same
+// pooled scratch memory over an identical truncated element range.
+func probe(sp Spec, kn Kernel) KernelKind {
+	need := sp.Last + 1
+	if need > calProbeCap {
+		need = calProbeCap
+	}
+	if need <= 0 {
+		return kn.kind
+	}
+	var mem []float64
+	if v := calScratch.Get(); v != nil {
+		mem = *(v.(*[]float64))
+	}
+	if int64(len(mem)) < need {
+		mem = make([]float64, calProbeCap)
+	}
+	defer calScratch.Put(&mem)
+
+	// Truncate both contestants to the scratch window so they touch the
+	// same elements; relative speed is what matters, not coverage. The
+	// unrolled kernel is count-driven, so its trip count must shrink too
+	// — whole periods only, keeping every store inside the window.
+	spec := kn
+	spec.last = need - 1
+	if spec.kind == KindUnrolled {
+		period := int64(len(spec.prefix))
+		maxPre := spec.prefix[period-1]
+		avail := need - 1 - spec.start - maxPre
+		if avail <= 0 || spec.cycle <= 0 {
+			return kn.kind
+		}
+		spec.count = (avail / spec.cycle) * period
+		if spec.count <= 0 {
+			return kn.kind
+		}
+	}
+	gen := genericKernel(sp)
+	gen.last = need - 1
+
+	tSpec := bestOf(3, func() { spec.Fill(mem, 1) })
+	tGen := bestOf(3, func() { gen.Fill(mem, 1) })
+	if tGen < tSpec {
+		return KindGeneric
+	}
+	return kn.kind
+}
+
+// bestOf runs f once to warm caches, then returns the fastest of reps
+// timed runs.
+func bestOf(reps int, f func()) time.Duration {
+	f()
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}

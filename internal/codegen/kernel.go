@@ -1,0 +1,882 @@
+package codegen
+
+// Kernel specialization: instead of interpreting one generic loop shape
+// (ShapeB) for every workload, the runtime compiles each cached section
+// plan into the most specific node-code kernel its parameters admit —
+// the Section 6.1 "compile-time constants" observation pushed one level
+// further. The specialized kinds go beyond the paper's Figure 8 menu:
+//
+//	KindConstGap   — table-free constant-stride loop. Covers every
+//	                 uniform-gap table: cyclic(1) distributions (k = 1),
+//	                 unit-stride sections (all gaps 1), degenerate
+//	                 length-1 tables, and block distributions whose
+//	                 traversal stays inside one block row (gap ≡ s).
+//	KindUnrolled   — small-period tables (period ≤ MaxUnrollPeriod): the
+//	                 gap sequence is folded into cumulative offsets held
+//	                 in registers and the loop is unrolled by the period,
+//	                 so one trip-count test covers a whole period.
+//	KindRowStride  — table-free row decomposition for s ≤ k: within one
+//	                 block row the owned section elements are a constant-
+//	                 stride run (consecutive globals in a block differ by
+//	                 exactly s), and the first touched offset advances by
+//	                 (-pk) mod s per row, so the kernel needs no tables at
+//	                 all. This is the fast path for the gcd(s,pk)=1
+//	                 family, whose period-k tables defeat unrolling.
+//	KindOffsetDispatch — the Figure 8(d) NextOffset-driven shape, running
+//	                 on the processor-independent transition tables shared
+//	                 through core.TableSet. Selected only for table-only
+//	                 specs (no materialized gap list): it needs zero
+//	                 per-plan storage, but its dependent next[] load chain
+//	                 loses to the sequential gap scan whenever a gap list
+//	                 exists (the offset period never exceeds k).
+//	KindGeneric    — the Figure 8(b) control flow, the paper's baseline
+//	                 and the fallback when nothing more specific applies.
+//
+// Every kind comes in fill/map/sum/gather/scatter op variants so the
+// section runtime (internal/hpf) executes through one dispatch instead
+// of hand-rolling per-op copies of the ShapeB walk. Selection happens
+// once, at plan-compile time (Select/Compile), and the chosen Kernel is
+// stored in the cached plan; steady-state traversal performs no
+// allocation and no re-selection.
+
+import (
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// KernelKind names one specialized node-code kernel family.
+type KernelKind uint8
+
+// The kernel families, from most to least specialized.
+const (
+	KindNone           KernelKind = iota // processor owns nothing
+	KindConstGap                         // table-free, constant stride
+	KindUnrolled                         // period ≤ MaxUnrollPeriod, unrolled
+	KindRowStride                        // table-free row decomposition (s ≤ k)
+	KindOffsetDispatch                   // Figure 8(d) via shared transition tables
+	KindGeneric                          // Figure 8(b) baseline
+	numKernelKinds
+)
+
+func (k KernelKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindConstGap:
+		return "constgap"
+	case KindUnrolled:
+		return "unrolled"
+	case KindRowStride:
+		return "rowstride"
+	case KindOffsetDispatch:
+		return "offsetdispatch"
+	case KindGeneric:
+		return "generic"
+	}
+	return "invalid"
+}
+
+// MaxUnrollPeriod is the largest AM-table period the selector unrolls.
+// Beyond 8 the cumulative offsets no longer fit the register budget and
+// the per-period savings stop paying for the code growth.
+const MaxUnrollPeriod = 8
+
+// Per-kind selection and invocation counters. Selection is counted once
+// per Compile, invocation once per op call; both record through atomic
+// counters so the warm path stays allocation free.
+var (
+	telSelected [numKernelKinds]*telemetry.Counter
+	telInvoked  [numKernelKinds]*telemetry.Counter
+)
+
+func init() {
+	r := telemetry.Default()
+	for k := KernelKind(0); k < numKernelKinds; k++ {
+		telSelected[k] = r.Counter("codegen.kernel_selected." + k.String())
+		telInvoked[k] = r.Counter("codegen.kernel_invocations." + k.String())
+	}
+}
+
+// Spec is everything the selector may consult about one per-processor
+// node-loop pattern, gathered at plan-compile time: the core problem,
+// the local start/last addresses and element count of the bounded
+// traversal, the AM gap table, and (optionally) the shared offset-
+// indexed transition tables from core.TableSet.Transitions. Delta and
+// Next may be nil; the offset-dispatch kernel is then unavailable.
+type Spec struct {
+	Problem core.Problem
+	Start   int64 // local address of the first owned element, -1 if none
+	Last    int64 // local address of the last owned element
+	Count   int64 // number of owned elements in bounds
+	Gaps    []int64
+	Delta   []int64 // shared transition gaps, indexed by local offset
+	Next    []int64 // shared successor offsets, indexed by local offset
+}
+
+// Kernel is a compiled node loop: one selected kind plus exactly the
+// parameters that kind consumes. Kernels are immutable after Select and
+// safe for concurrent use; slice fields alias the (read-only) tables of
+// the spec they were compiled from.
+type Kernel struct {
+	kind  KernelKind
+	start int64
+	last  int64
+	count int64
+
+	gap  int64   // KindConstGap
+	gaps []int64 // KindGeneric
+
+	prefix []int64 // KindUnrolled: cumulative offsets, prefix[0] = 0
+	cycle  int64   // KindUnrolled: local advance per full period
+
+	blockK  int64 // KindRowStride: k (row length in local memory)
+	stride  int64 // KindRowStride: s
+	rowStep int64 // KindRowStride: (-pk) mod s
+
+	delta    []int64 // KindOffsetDispatch
+	next     []int64 // KindOffsetDispatch
+	startOff int64   // KindOffsetDispatch: start mod k
+}
+
+// Kind returns the selected kernel family.
+func (kn *Kernel) Kind() KernelKind { return kn.kind }
+
+// Count returns the number of elements one traversal covers.
+func (kn *Kernel) Count() int64 { return kn.count }
+
+// uniformGap reports whether every table entry equals the first (an
+// empty table is trivially uniform; its gap is never consumed).
+func uniformGap(gaps []int64) (int64, bool) {
+	if len(gaps) == 0 {
+		return 0, true
+	}
+	g := gaps[0]
+	for _, x := range gaps[1:] {
+		if x != g {
+			return 0, false
+		}
+	}
+	return g, true
+}
+
+// Select chooses the most specialized kernel the spec admits. It is a
+// pure function of the spec — selection for a given Problem and bounds
+// is deterministic — and performs no timing; see Compile for the
+// optionally calibrated entry point.
+func Select(sp Spec) Kernel {
+	kn := Kernel{start: sp.Start, last: sp.Last, count: sp.Count}
+	if sp.Count <= 0 || sp.Start < 0 {
+		kn.kind = KindNone
+		kn.count = 0
+		return kn
+	}
+	k, s := sp.Problem.K, sp.Problem.S
+	// An empty gap table is only conclusive for a single-element
+	// traversal; a table-only spec (Gaps nil, Count > 1) must fall
+	// through to the offset-dispatch check below.
+	if g, ok := uniformGap(sp.Gaps); ok && (len(sp.Gaps) > 0 || sp.Count == 1) {
+		kn.kind, kn.gap = KindConstGap, g
+		return kn
+	}
+	if sp.Last < k {
+		// The whole traversal stays inside one block row (the block-
+		// distribution case): consecutive owned section elements lie in
+		// the same block, so every executed gap is exactly s even though
+		// the full cyclic table is not uniform.
+		kn.kind, kn.gap = KindConstGap, s
+		return kn
+	}
+	if p := len(sp.Gaps); p > 1 && p <= MaxUnrollPeriod {
+		kn.kind = KindUnrolled
+		kn.prefix = make([]int64, p)
+		var sum int64
+		for i, g := range sp.Gaps {
+			kn.prefix[i] = sum
+			sum += g
+		}
+		kn.cycle = sum
+		return kn
+	}
+	if s <= k {
+		// Dense rows: at least one element per k/s ≥ 1 local cells, so the
+		// per-row bookkeeping amortizes and no table is touched at all.
+		kn.kind = KindRowStride
+		kn.blockK = k
+		kn.stride = s
+		kn.rowStep = rowStepFor(sp.Problem)
+		return kn
+	}
+	if sp.Gaps == nil && sp.Delta != nil && sp.Next != nil {
+		// Table-only spec (no materialized per-processor gap list): the
+		// Figure 8(d) dispatch runs straight off the O(k) shared transition
+		// tables. When a gap list exists the sequential generic walk below
+		// wins — the dependent next[] load chain costs more per element
+		// than scanning a period ≤ k gap array — so offset dispatch is the
+		// memory-frugal pick, never the preferred one.
+		kn.kind = KindOffsetDispatch
+		kn.delta, kn.next = sp.Delta, sp.Next
+		kn.startOff = sp.Start % k
+		return kn
+	}
+	kn.kind = KindGeneric
+	kn.gaps = sp.Gaps
+	return kn
+}
+
+// rowStepFor returns (-pk) mod s: how far the first touched offset of a
+// block row moves between consecutive rows of the same processor.
+func rowStepFor(pr core.Problem) int64 {
+	pk := pr.P * pr.K
+	return (pr.S - pk%pr.S) % pr.S
+}
+
+// Compile is the plan-compile-time entry point: Select, optionally
+// refined by the one-shot calibration probe (SetCalibration), with the
+// winning kind recorded in the selection counters. With calibration off
+// (the default) Compile is deterministic for a given spec.
+func Compile(sp Spec) Kernel {
+	kn := Select(sp)
+	if calibrationOn() {
+		kn = calibrated(sp, kn)
+	}
+	telSelected[kn.kind].Inc()
+	return kn
+}
+
+// genericKernel builds the KindGeneric fallback for a spec, used by the
+// calibrator when the probe demotes a specialized pick.
+func genericKernel(sp Spec) Kernel {
+	return Kernel{
+		kind:  KindGeneric,
+		start: sp.Start,
+		last:  sp.Last,
+		count: sp.Count,
+		gaps:  sp.Gaps,
+	}
+}
+
+// Candidates returns every kernel that is valid for the spec (the
+// selected one included), most specialized first. Differential tests
+// and the fuzz target use it to cross-check that all kernels write the
+// identical element set; it is not part of the hot path.
+func Candidates(sp Spec) []Kernel {
+	var out []Kernel
+	sel := Select(sp)
+	out = append(out, sel)
+	if sel.kind == KindNone {
+		return out
+	}
+	add := func(kn Kernel) {
+		if kn.kind != sel.kind {
+			out = append(out, kn)
+		}
+	}
+	if g, ok := uniformGap(sp.Gaps); ok && (len(sp.Gaps) > 0 || sp.Count == 1) {
+		add(Kernel{kind: KindConstGap, start: sp.Start, last: sp.Last, count: sp.Count, gap: g})
+	}
+	if p := len(sp.Gaps); p > 1 && p <= MaxUnrollPeriod {
+		pre := make([]int64, p)
+		var sum int64
+		for i, g := range sp.Gaps {
+			pre[i] = sum
+			sum += g
+		}
+		add(Kernel{kind: KindUnrolled, start: sp.Start, last: sp.Last, count: sp.Count, prefix: pre, cycle: sum})
+	}
+	// RowStride is correct for every stride (rows without elements fall
+	// through the inner loop); s ≤ k is only the performance heuristic.
+	add(Kernel{
+		kind: KindRowStride, start: sp.Start, last: sp.Last, count: sp.Count,
+		blockK: sp.Problem.K, stride: sp.Problem.S, rowStep: rowStepFor(sp.Problem),
+	})
+	if sp.Delta != nil && sp.Next != nil {
+		add(Kernel{
+			kind: KindOffsetDispatch, start: sp.Start, last: sp.Last, count: sp.Count,
+			delta: sp.Delta, next: sp.Next, startOff: sp.Start % sp.Problem.K,
+		})
+	}
+	if sp.Gaps != nil {
+		add(genericKernel(sp))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Op dispatch. Each op returns the number of elements traversed so
+// callers can verify coverage against the plan's count.
+
+// Fill writes v at every traversed address: A(l:u:s) = v.
+func (kn *Kernel) Fill(mem []float64, v float64) int64 {
+	telInvoked[kn.kind].Inc()
+	switch kn.kind {
+	case KindConstGap:
+		return kn.fillConst(mem, v)
+	case KindUnrolled:
+		return kn.fillUnrolled(mem, v)
+	case KindRowStride:
+		return kn.fillRow(mem, v)
+	case KindOffsetDispatch:
+		return kn.fillOffset(mem, v)
+	case KindGeneric:
+		return ShapeB(mem, kn.start, kn.last, kn.gaps, v)
+	}
+	return 0
+}
+
+// Map applies f in place at every traversed address, in access order.
+func (kn *Kernel) Map(mem []float64, f func(float64) float64) int64 {
+	telInvoked[kn.kind].Inc()
+	switch kn.kind {
+	case KindConstGap:
+		return kn.mapConst(mem, f)
+	case KindUnrolled:
+		return kn.mapUnrolled(mem, f)
+	case KindRowStride:
+		return kn.mapRow(mem, f)
+	case KindOffsetDispatch:
+		return kn.mapOffset(mem, f)
+	case KindGeneric:
+		return kn.mapGeneric(mem, f)
+	}
+	return 0
+}
+
+// Sum accumulates the traversed elements in access order and returns
+// the total along with the element count.
+func (kn *Kernel) Sum(mem []float64) (float64, int64) {
+	telInvoked[kn.kind].Inc()
+	switch kn.kind {
+	case KindConstGap:
+		return kn.sumConst(mem)
+	case KindUnrolled:
+		return kn.sumUnrolled(mem)
+	case KindRowStride:
+		return kn.sumRow(mem)
+	case KindOffsetDispatch:
+		return kn.sumOffset(mem)
+	case KindGeneric:
+		return kn.sumGeneric(mem)
+	}
+	return 0, 0
+}
+
+// Gather copies the traversed elements into out in access order. out
+// must have room for Count elements.
+func (kn *Kernel) Gather(mem []float64, out []float64) int64 {
+	telInvoked[kn.kind].Inc()
+	switch kn.kind {
+	case KindConstGap:
+		return kn.gatherConst(mem, out)
+	case KindUnrolled:
+		return kn.gatherUnrolled(mem, out)
+	case KindRowStride:
+		return kn.gatherRow(mem, out)
+	case KindOffsetDispatch:
+		return kn.gatherOffset(mem, out)
+	case KindGeneric:
+		return Gather(mem, kn.start, kn.last, kn.gaps, out)
+	}
+	return 0
+}
+
+// Scatter writes in back into the traversed addresses in access order.
+func (kn *Kernel) Scatter(mem []float64, in []float64) int64 {
+	telInvoked[kn.kind].Inc()
+	switch kn.kind {
+	case KindConstGap:
+		return kn.scatterConst(mem, in)
+	case KindUnrolled:
+		return kn.scatterUnrolled(mem, in)
+	case KindRowStride:
+		return kn.scatterRow(mem, in)
+	case KindOffsetDispatch:
+		return kn.scatterOffset(mem, in)
+	case KindGeneric:
+		return Scatter(mem, kn.start, kn.last, kn.gaps, in)
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// KindConstGap: count-driven constant-stride loops. The unit-gap fill
+// runs over a subslice so the compiler drops the per-store bounds check.
+
+func (kn *Kernel) fillConst(mem []float64, v float64) int64 {
+	if kn.gap == 1 {
+		seg := mem[kn.start : kn.start+kn.count]
+		for i := range seg {
+			seg[i] = v
+		}
+		return kn.count
+	}
+	if kn.gap <= 0 {
+		// A zero gap only arises from an empty table, i.e. count ≤ 1.
+		if kn.count > 0 {
+			mem[kn.start] = v
+		}
+		return kn.count
+	}
+	return fillStrided(mem, kn.start, kn.last, kn.gap, v)
+}
+
+// fillStrided writes v at start, start+stride, …, last — four stores
+// per trip so the loop-control overhead amortizes over wide strides.
+func fillStrided(mem []float64, start, last, stride int64, v float64) int64 {
+	a := start
+	var n int64
+	s2 := 2 * stride
+	s3 := s2 + stride
+	for a+s3 <= last {
+		mem[a] = v
+		mem[a+stride] = v
+		mem[a+s2] = v
+		mem[a+s3] = v
+		a += s3 + stride
+		n += 4
+	}
+	for ; a <= last; a += stride {
+		mem[a] = v
+		n++
+	}
+	return n
+}
+
+func (kn *Kernel) mapConst(mem []float64, f func(float64) float64) int64 {
+	base := kn.start
+	for r := kn.count; r > 0; r-- {
+		mem[base] = f(mem[base])
+		base += kn.gap
+	}
+	return kn.count
+}
+
+func (kn *Kernel) sumConst(mem []float64) (float64, int64) {
+	var total float64
+	if kn.gap == 1 {
+		for _, x := range mem[kn.start : kn.start+kn.count] {
+			total += x
+		}
+		return total, kn.count
+	}
+	base := kn.start
+	for r := kn.count; r > 0; r-- {
+		total += mem[base]
+		base += kn.gap
+	}
+	return total, kn.count
+}
+
+func (kn *Kernel) gatherConst(mem []float64, out []float64) int64 {
+	base := kn.start
+	for i := int64(0); i < kn.count; i++ {
+		out[i] = mem[base]
+		base += kn.gap
+	}
+	return kn.count
+}
+
+func (kn *Kernel) scatterConst(mem []float64, in []float64) int64 {
+	base := kn.start
+	for i := int64(0); i < kn.count; i++ {
+		mem[base] = in[i]
+		base += kn.gap
+	}
+	return kn.count
+}
+
+// ---------------------------------------------------------------------
+// KindUnrolled: the gap sequence becomes cumulative offsets; full
+// periods execute with one trip-count test and constant offsets, the
+// remainder walks the prefix table once.
+
+func (kn *Kernel) fillUnrolled(mem []float64, v float64) int64 {
+	base := kn.start
+	pre, cyc := kn.prefix, kn.cycle
+	period := int64(len(pre))
+	full, rem := kn.count/period, kn.count%period
+	switch period {
+	case 2:
+		c1 := pre[1]
+		for ; full > 0; full-- {
+			mem[base] = v
+			mem[base+c1] = v
+			base += cyc
+		}
+	case 3:
+		c1, c2 := pre[1], pre[2]
+		for ; full > 0; full-- {
+			mem[base] = v
+			mem[base+c1] = v
+			mem[base+c2] = v
+			base += cyc
+		}
+	case 4:
+		c1, c2, c3 := pre[1], pre[2], pre[3]
+		for ; full > 0; full-- {
+			mem[base] = v
+			mem[base+c1] = v
+			mem[base+c2] = v
+			mem[base+c3] = v
+			base += cyc
+		}
+	case 5:
+		c1, c2, c3, c4 := pre[1], pre[2], pre[3], pre[4]
+		for ; full > 0; full-- {
+			mem[base] = v
+			mem[base+c1] = v
+			mem[base+c2] = v
+			mem[base+c3] = v
+			mem[base+c4] = v
+			base += cyc
+		}
+	case 6:
+		c1, c2, c3, c4, c5 := pre[1], pre[2], pre[3], pre[4], pre[5]
+		for ; full > 0; full-- {
+			mem[base] = v
+			mem[base+c1] = v
+			mem[base+c2] = v
+			mem[base+c3] = v
+			mem[base+c4] = v
+			mem[base+c5] = v
+			base += cyc
+		}
+	case 7:
+		c1, c2, c3, c4, c5, c6 := pre[1], pre[2], pre[3], pre[4], pre[5], pre[6]
+		for ; full > 0; full-- {
+			mem[base] = v
+			mem[base+c1] = v
+			mem[base+c2] = v
+			mem[base+c3] = v
+			mem[base+c4] = v
+			mem[base+c5] = v
+			mem[base+c6] = v
+			base += cyc
+		}
+	case 8:
+		c1, c2, c3, c4, c5, c6, c7 := pre[1], pre[2], pre[3], pre[4], pre[5], pre[6], pre[7]
+		for ; full > 0; full-- {
+			mem[base] = v
+			mem[base+c1] = v
+			mem[base+c2] = v
+			mem[base+c3] = v
+			mem[base+c4] = v
+			mem[base+c5] = v
+			mem[base+c6] = v
+			mem[base+c7] = v
+			base += cyc
+		}
+	default:
+		for ; full > 0; full-- {
+			for _, off := range pre {
+				mem[base+off] = v
+			}
+			base += cyc
+		}
+	}
+	for _, off := range pre[:rem] {
+		mem[base+off] = v
+	}
+	return kn.count
+}
+
+func (kn *Kernel) mapUnrolled(mem []float64, f func(float64) float64) int64 {
+	base := kn.start
+	pre, cyc := kn.prefix, kn.cycle
+	period := int64(len(pre))
+	full, rem := kn.count/period, kn.count%period
+	for ; full > 0; full-- {
+		for _, off := range pre {
+			mem[base+off] = f(mem[base+off])
+		}
+		base += cyc
+	}
+	for _, off := range pre[:rem] {
+		mem[base+off] = f(mem[base+off])
+	}
+	return kn.count
+}
+
+func (kn *Kernel) sumUnrolled(mem []float64) (float64, int64) {
+	base := kn.start
+	pre, cyc := kn.prefix, kn.cycle
+	period := int64(len(pre))
+	full, rem := kn.count/period, kn.count%period
+	var total float64
+	for ; full > 0; full-- {
+		for _, off := range pre {
+			total += mem[base+off]
+		}
+		base += cyc
+	}
+	for _, off := range pre[:rem] {
+		total += mem[base+off]
+	}
+	return total, kn.count
+}
+
+func (kn *Kernel) gatherUnrolled(mem []float64, out []float64) int64 {
+	base := kn.start
+	pre, cyc := kn.prefix, kn.cycle
+	period := int64(len(pre))
+	full, rem := kn.count/period, kn.count%period
+	var n int64
+	for ; full > 0; full-- {
+		for _, off := range pre {
+			out[n] = mem[base+off]
+			n++
+		}
+		base += cyc
+	}
+	for _, off := range pre[:rem] {
+		out[n] = mem[base+off]
+		n++
+	}
+	return n
+}
+
+func (kn *Kernel) scatterUnrolled(mem []float64, in []float64) int64 {
+	base := kn.start
+	pre, cyc := kn.prefix, kn.cycle
+	period := int64(len(pre))
+	full, rem := kn.count/period, kn.count%period
+	var n int64
+	for ; full > 0; full-- {
+		for _, off := range pre {
+			mem[base+off] = in[n]
+			n++
+		}
+		base += cyc
+	}
+	for _, off := range pre[:rem] {
+		mem[base+off] = in[n]
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// KindRowStride: iterate block rows; inside a row the owned section
+// elements are base+off, base+off+s, … — a constant-stride run — and
+// the first touched offset advances by rowStep per row. No tables.
+
+func (kn *Kernel) fillRow(mem []float64, v float64) int64 {
+	var n int64
+	off := kn.start % kn.blockK
+	rowBase := kn.start - off
+	lat := off % kn.stride
+	for rowBase <= kn.last {
+		end := rowBase + kn.blockK - 1
+		if end > kn.last {
+			end = kn.last
+		}
+		n += fillStrided(mem, rowBase+off, end, kn.stride, v)
+		rowBase += kn.blockK
+		lat += kn.rowStep
+		if lat >= kn.stride {
+			lat -= kn.stride
+		}
+		off = lat
+	}
+	return n
+}
+
+func (kn *Kernel) mapRow(mem []float64, f func(float64) float64) int64 {
+	var n int64
+	off := kn.start % kn.blockK
+	rowBase := kn.start - off
+	lat := off % kn.stride
+	for rowBase <= kn.last {
+		end := rowBase + kn.blockK - 1
+		if end > kn.last {
+			end = kn.last
+		}
+		for a := rowBase + off; a <= end; a += kn.stride {
+			mem[a] = f(mem[a])
+			n++
+		}
+		rowBase += kn.blockK
+		lat += kn.rowStep
+		if lat >= kn.stride {
+			lat -= kn.stride
+		}
+		off = lat
+	}
+	return n
+}
+
+func (kn *Kernel) sumRow(mem []float64) (float64, int64) {
+	var total float64
+	var n int64
+	off := kn.start % kn.blockK
+	rowBase := kn.start - off
+	lat := off % kn.stride
+	for rowBase <= kn.last {
+		end := rowBase + kn.blockK - 1
+		if end > kn.last {
+			end = kn.last
+		}
+		for a := rowBase + off; a <= end; a += kn.stride {
+			total += mem[a]
+			n++
+		}
+		rowBase += kn.blockK
+		lat += kn.rowStep
+		if lat >= kn.stride {
+			lat -= kn.stride
+		}
+		off = lat
+	}
+	return total, n
+}
+
+func (kn *Kernel) gatherRow(mem []float64, out []float64) int64 {
+	var n int64
+	off := kn.start % kn.blockK
+	rowBase := kn.start - off
+	lat := off % kn.stride
+	for rowBase <= kn.last {
+		end := rowBase + kn.blockK - 1
+		if end > kn.last {
+			end = kn.last
+		}
+		for a := rowBase + off; a <= end; a += kn.stride {
+			out[n] = mem[a]
+			n++
+		}
+		rowBase += kn.blockK
+		lat += kn.rowStep
+		if lat >= kn.stride {
+			lat -= kn.stride
+		}
+		off = lat
+	}
+	return n
+}
+
+func (kn *Kernel) scatterRow(mem []float64, in []float64) int64 {
+	var n int64
+	off := kn.start % kn.blockK
+	rowBase := kn.start - off
+	lat := off % kn.stride
+	for rowBase <= kn.last {
+		end := rowBase + kn.blockK - 1
+		if end > kn.last {
+			end = kn.last
+		}
+		for a := rowBase + off; a <= end; a += kn.stride {
+			mem[a] = in[n]
+			n++
+		}
+		rowBase += kn.blockK
+		lat += kn.rowStep
+		if lat >= kn.stride {
+			lat -= kn.stride
+		}
+		off = lat
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// KindOffsetDispatch: the Figure 8(d) flow over the shared
+// offset-indexed transition tables.
+
+func (kn *Kernel) fillOffset(mem []float64, v float64) int64 {
+	base, i := kn.start, kn.startOff
+	var n int64
+	for base <= kn.last {
+		mem[base] = v
+		base += kn.delta[i]
+		i = kn.next[i]
+		n++
+	}
+	return n
+}
+
+func (kn *Kernel) mapOffset(mem []float64, f func(float64) float64) int64 {
+	base, i := kn.start, kn.startOff
+	var n int64
+	for base <= kn.last {
+		mem[base] = f(mem[base])
+		base += kn.delta[i]
+		i = kn.next[i]
+		n++
+	}
+	return n
+}
+
+func (kn *Kernel) sumOffset(mem []float64) (float64, int64) {
+	base, i := kn.start, kn.startOff
+	var total float64
+	var n int64
+	for base <= kn.last {
+		total += mem[base]
+		base += kn.delta[i]
+		i = kn.next[i]
+		n++
+	}
+	return total, n
+}
+
+func (kn *Kernel) gatherOffset(mem []float64, out []float64) int64 {
+	base, i := kn.start, kn.startOff
+	var n int64
+	for base <= kn.last {
+		out[n] = mem[base]
+		base += kn.delta[i]
+		i = kn.next[i]
+		n++
+	}
+	return n
+}
+
+func (kn *Kernel) scatterOffset(mem []float64, in []float64) int64 {
+	base, i := kn.start, kn.startOff
+	var n int64
+	for base <= kn.last {
+		mem[base] = in[n]
+		base += kn.delta[i]
+		i = kn.next[i]
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// KindGeneric map/sum (fill, gather and scatter reuse the package-level
+// ShapeB/Gather/Scatter loops).
+
+func (kn *Kernel) mapGeneric(mem []float64, f func(float64) float64) int64 {
+	length := int64(len(kn.gaps))
+	base := kn.start
+	i := int64(0)
+	var n int64
+	for base <= kn.last {
+		mem[base] = f(mem[base])
+		base += kn.gaps[i]
+		i++
+		if i == length {
+			i = 0
+		}
+		n++
+	}
+	return n
+}
+
+func (kn *Kernel) sumGeneric(mem []float64) (float64, int64) {
+	length := int64(len(kn.gaps))
+	base := kn.start
+	i := int64(0)
+	var total float64
+	var n int64
+	for base <= kn.last {
+		total += mem[base]
+		base += kn.gaps[i]
+		i++
+		if i == length {
+			i = 0
+		}
+		n++
+	}
+	return total, n
+}

@@ -1,0 +1,216 @@
+package codegen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// kernelSpec assembles the plan-compile-time Spec for a fixture,
+// including the shared transition tables when the configuration has
+// them.
+func kernelSpec(t *testing.T, f *fixture) Spec {
+	t.Helper()
+	sp := Spec{
+		Problem: f.pr,
+		Start:   f.start,
+		Last:    f.last,
+		Count:   int64(len(f.wantAddrs)),
+		Gaps:    f.gaps,
+	}
+	ts, err := core.NewTableSet(f.pr.P, f.pr.K, f.pr.L, f.pr.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta, next, ok := ts.Transitions(); ok {
+		sp.Delta, sp.Next = delta, next
+	}
+	return sp
+}
+
+// kernelProblems extends testProblems with cases that exercise every
+// specialized family.
+func kernelProblems() []struct {
+	pr core.Problem
+	u  int64
+} {
+	out := testProblems()
+	add := func(p, k, l, s, m, u int64) {
+		out = append(out, struct {
+			pr core.Problem
+			u  int64
+		}{core.Problem{P: p, K: k, L: l, S: s, M: m}, u})
+	}
+	add(4, 1, 0, 3, 2, 4000)    // cyclic(1): k = 1 → const gap
+	add(4, 100, 0, 3, 1, 399)   // block-like: whole range in row 0 → const gap s
+	add(4, 16, 0, 3, 1, 9000)   // s ≤ k but pk−k ≡ 0 (mod s): uniform → const gap
+	add(4, 16, 0, 5, 1, 9000)   // s ≤ k, period 16, non-uniform → row stride
+	add(4, 16, 5, 23, 2, 9000)  // s > k, period 16 → generic (dispatch needs a table-only spec)
+	add(4, 16, 0, 24, 3, 9000)  // s > k, gcd(24,64)=8 → short cycles
+	add(3, 5, 2, 4, 1, 777)     // period ≤ 8 → unrolled
+	add(8, 8, 1, 13, 6, 100000) // unrolled, long run
+	return out
+}
+
+func TestKernelSelection(t *testing.T) {
+	cases := []struct {
+		p, k, l, s, m, u int64
+		want             KernelKind
+	}{
+		{2, 3, 0, 1, 1, 50, KindConstGap},     // unit stride: uniform gaps
+		{4, 1, 0, 3, 2, 4000, KindConstGap},   // cyclic(1)
+		{4, 100, 0, 3, 1, 399, KindConstGap},  // block row 0 only
+		{4, 8, 4, 9, 1, 320, KindUnrolled},    // paper example, period 8
+		{3, 5, 2, 4, 1, 777, KindUnrolled},    // period ≤ 8
+		{4, 16, 0, 3, 1, 9000, KindConstGap},  // s ≤ k but the boundary gap is s too
+		{4, 16, 0, 5, 1, 9000, KindRowStride}, // s ≤ k, period 16, non-uniform
+		{4, 16, 5, 23, 2, 9000, KindGeneric},  // s > k with a gap list: scan beats dispatch
+		{4, 2, 3, 8, 0, 100, KindNone},        // empty processor
+	}
+	for _, tc := range cases {
+		pr := core.Problem{P: tc.p, K: tc.k, L: tc.l, S: tc.s, M: tc.m}
+		f := newFixture(t, pr, tc.u)
+		sp := kernelSpec(t, f)
+		kn := Select(sp)
+		if kn.Kind() != tc.want {
+			t.Errorf("%+v u=%d: selected %v, want %v", pr, tc.u, kn.Kind(), tc.want)
+		}
+		// Selection is a pure function of the spec.
+		if again := Select(sp); again.Kind() != kn.Kind() {
+			t.Errorf("%+v: selection not deterministic: %v then %v", pr, kn.Kind(), again.Kind())
+		}
+		if compiled := Compile(sp); compiled.Kind() != kn.Kind() {
+			t.Errorf("%+v: Compile picked %v, Select picked %v", pr, compiled.Kind(), kn.Kind())
+		}
+	}
+
+	// A table-only spec (no materialized gap list) is where the 8(d)
+	// dispatch kernel earns its keep: O(k) shared tables, zero per-plan
+	// storage.
+	pr := core.Problem{P: 4, K: 16, L: 5, S: 23, M: 2}
+	f := newFixture(t, pr, 9000)
+	sp := kernelSpec(t, f)
+	sp.Gaps = nil
+	if kn := Select(sp); kn.Kind() != KindOffsetDispatch {
+		t.Errorf("table-only spec selected %v, want offsetdispatch", kn.Kind())
+	}
+}
+
+func TestKernelOpsMatchGroundTruth(t *testing.T) {
+	for _, tc := range kernelProblems() {
+		f := newFixture(t, tc.pr, tc.u)
+		sp := kernelSpec(t, f)
+		n := int64(len(f.wantAddrs))
+		for _, kn := range Candidates(sp) {
+			kn := kn
+			label := kn.Kind().String()
+			if kn.Count() != n {
+				t.Errorf("%+v u=%d %s: Count() = %d, want %d", tc.pr, tc.u, label, kn.Count(), n)
+			}
+
+			// Fill writes exactly the owned element set.
+			f.verify(t, label+"/fill", kn.Fill(f.mem, 1.0))
+
+			// Map applies in place over the same set.
+			f.verify(t, label+"/map", kn.Map(f.mem, func(x float64) float64 { return x + 1 }))
+
+			// Sum sees every owned element exactly once.
+			var want float64
+			for i, a := range f.wantAddrs {
+				f.mem[a] = float64(i + 1)
+				want += float64(i + 1)
+			}
+			got, cnt := kn.Sum(f.mem)
+			if cnt != n || math.Abs(got-want) > 1e-9 {
+				t.Errorf("%+v u=%d %s: Sum = (%v, %d), want (%v, %d)", tc.pr, tc.u, label, got, cnt, want, n)
+			}
+
+			// Gather preserves access order; Scatter round-trips.
+			buf := make([]float64, n)
+			if got := kn.Gather(f.mem, buf); got != n {
+				t.Errorf("%s: Gather count = %d, want %d", label, got, n)
+			}
+			for i := range buf {
+				if buf[i] != float64(i+1) {
+					t.Errorf("%s: Gather order wrong at %d", label, i)
+					break
+				}
+			}
+			mem2 := make([]float64, len(f.mem))
+			if got := kn.Scatter(mem2, buf); got != n {
+				t.Errorf("%s: Scatter count = %d, want %d", label, got, n)
+			}
+			if !reflect.DeepEqual(mem2, f.mem) {
+				t.Errorf("%s: Scatter(Gather(mem)) != mem", label)
+			}
+			clear(f.mem)
+		}
+	}
+}
+
+func TestKernelEmpty(t *testing.T) {
+	mem := make([]float64, 8)
+	kn := Select(Spec{Problem: core.Problem{P: 4, K: 2, L: 3, S: 8, M: 0}, Start: -1, Last: -1})
+	if kn.Kind() != KindNone {
+		t.Fatalf("empty spec selected %v", kn.Kind())
+	}
+	if n := kn.Fill(mem, 1); n != 0 {
+		t.Errorf("Fill on empty = %d", n)
+	}
+	if n := kn.Map(mem, func(x float64) float64 { return x }); n != 0 {
+		t.Errorf("Map on empty = %d", n)
+	}
+	if s, n := kn.Sum(mem); s != 0 || n != 0 {
+		t.Errorf("Sum on empty = (%v, %d)", s, n)
+	}
+	if n := kn.Gather(mem, nil); n != 0 {
+		t.Errorf("Gather on empty = %d", n)
+	}
+	if n := kn.Scatter(mem, nil); n != 0 {
+		t.Errorf("Scatter on empty = %d", n)
+	}
+}
+
+func TestKernelKindString(t *testing.T) {
+	want := map[KernelKind]string{
+		KindNone:           "none",
+		KindConstGap:       "constgap",
+		KindUnrolled:       "unrolled",
+		KindRowStride:      "rowstride",
+		KindOffsetDispatch: "offsetdispatch",
+		KindGeneric:        "generic",
+		numKernelKinds:     "invalid",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("KernelKind(%d).String() = %q, want %q", k, k.String(), w)
+		}
+	}
+}
+
+// TestKernelCalibration checks that the opt-in probe produces a kernel
+// that is still correct (whichever contestant wins) and that the winner
+// cache prevents re-probing.
+func TestKernelCalibration(t *testing.T) {
+	SetCalibration(true)
+	defer SetCalibration(false)
+	defer ResetCalibration()
+	ResetCalibration()
+
+	pr := core.Problem{P: 4, K: 8, L: 4, S: 9, M: 1}
+	f := newFixture(t, pr, 320)
+	sp := kernelSpec(t, f)
+	kn := Compile(sp)
+	if kn.Kind() != KindUnrolled && kn.Kind() != KindGeneric {
+		t.Fatalf("calibrated compile picked %v", kn.Kind())
+	}
+	f.verify(t, "calibrated/fill", kn.Fill(f.mem, 1.0))
+
+	// Second compile of the same class must reuse the cached winner and
+	// stay consistent with the first.
+	if again := Compile(sp); again.Kind() != kn.Kind() {
+		t.Errorf("calibration winner not cached: %v then %v", kn.Kind(), again.Kind())
+	}
+}

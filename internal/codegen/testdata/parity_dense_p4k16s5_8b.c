@@ -1,0 +1,9 @@
+/* 8(b) node code: p=4 k=16 l=0 s=5, processor 1 */
+static const long deltaM[16] = {5, 5, 2, 5, 5, 5, 2, 5, 5, 7, 5, 5, 7, 5, 5, 7};
+long base = startmem;
+long i = 0;
+while (base <= lastmem) {
+    a[base] = 1.0;
+    base += deltaM[i++];
+    if (i == 16) i = 0;
+}

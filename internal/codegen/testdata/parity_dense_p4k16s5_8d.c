@@ -1,0 +1,10 @@
+/* 8(d) node code: p=4 k=16 l=0 s=5, processor 1 */
+static const long deltaM[16] = {5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 7, 7, 7, 2, 2};
+static const long nextoffset[16] = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 2, 3, 4, 0, 1};
+long base = startmem;
+long i = 4; /* startoffset */
+while (base <= lastmem) {
+    a[base] = 1.0;
+    base += deltaM[i];
+    i = nextoffset[i];
+}

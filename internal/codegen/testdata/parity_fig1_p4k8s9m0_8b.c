@@ -1,0 +1,9 @@
+/* 8(b) node code: p=4 k=8 l=0 s=9, processor 0 */
+static const long deltaM[8] = {12, 15, 12, 3, 12, 3, 12, 3};
+long base = startmem;
+long i = 0;
+while (base <= lastmem) {
+    a[base] = 1.0;
+    base += deltaM[i++];
+    if (i == 8) i = 0;
+}

@@ -1,0 +1,10 @@
+/* 8(d) node code: p=4 k=8 l=4 s=9, processor 1 */
+static const long deltaM[8] = {12, 12, 12, 12, 15, 3, 3, 3};
+static const long nextoffset[8] = {4, 5, 6, 7, 3, 0, 1, 2};
+long base = startmem;
+long i = 5; /* startoffset */
+while (base <= lastmem) {
+    a[base] = 1.0;
+    base += deltaM[i];
+    i = nextoffset[i];
+}

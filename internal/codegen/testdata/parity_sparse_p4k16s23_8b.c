@@ -1,0 +1,9 @@
+/* 8(b) node code: p=4 k=16 l=5 s=23, processor 2 */
+static const long deltaM[16] = {21, 21, 40, 21, 21, 19, 21, 21, 21, 19, 21, 21, 40, 21, 21, 19};
+long base = startmem;
+long i = 0;
+while (base <= lastmem) {
+    a[base] = 1.0;
+    base += deltaM[i++];
+    if (i == 16) i = 0;
+}

@@ -1,0 +1,10 @@
+/* 8(d) node code: p=4 k=16 l=5 s=23, processor 2 */
+static const long deltaM[16] = {21, 21, 21, 21, 21, 21, 21, 21, 21, 21, 21, 40, 40, 19, 19, 19};
+static const long nextoffset[16] = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 3, 4, 0, 1, 2};
+long base = startmem;
+long i = 1; /* startoffset */
+while (base <= lastmem) {
+    a[base] = 1.0;
+    base += deltaM[i];
+    i = nextoffset[i];
+}

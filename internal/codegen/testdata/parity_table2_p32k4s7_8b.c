@@ -1,0 +1,9 @@
+/* 8(b) node code: p=32 k=4 l=0 s=7, processor 5 */
+static const long deltaM[4] = {13, 2, 11, 2};
+long base = startmem;
+long i = 0;
+while (base <= lastmem) {
+    a[base] = 1.0;
+    base += deltaM[i++];
+    if (i == 4) i = 0;
+}

@@ -1,0 +1,10 @@
+/* 8(d) node code: p=32 k=4 l=0 s=7, processor 5 */
+static const long deltaM[4] = {11, 13, 2, 2};
+static const long nextoffset[4] = {3, 2, 0, 1};
+long base = startmem;
+long i = 1; /* startoffset */
+while (base <= lastmem) {
+    a[base] = 1.0;
+    base += deltaM[i];
+    i = nextoffset[i];
+}

@@ -40,11 +40,8 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 		if me < p.NSrc {
 			mem := src.LocalMem(me)
 			for r := int64(0); r < p.NDst; r++ {
-				addrs := e.pack[me][r]
-				buf := machine.GetBuf(len(addrs))
-				for _, a := range addrs {
-					buf = append(buf, mem[a])
-				}
+				buf := machine.GetBuf(e.count(me, r))
+				buf = e.packInto(buf, mem, me, r)
 				proc.Send(int(r), tag, buf, nil)
 			}
 		}
@@ -52,14 +49,11 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 			mem := dst.LocalMem(me)
 			for q := int64(0); q < p.NSrc; q++ {
 				msg := proc.Recv(int(q), tag)
-				addrs := e.unpack[q][me]
-				if len(msg.Data) != len(addrs) {
+				if want := e.count(q, me); len(msg.Data) != want {
 					panic(fmt.Sprintf("comm: received %d of %d values from proc %d",
-						len(msg.Data), len(addrs), q))
+						len(msg.Data), want, q))
 				}
-				for i, a := range addrs {
-					mem[a] = op(mem[a], msg.Data[i])
-				}
+				e.combineFrom(mem, msg.Data, q, me, op)
 				machine.PutBuf(msg.Data)
 			}
 		}

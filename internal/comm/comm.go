@@ -46,14 +46,59 @@ type Plan struct {
 }
 
 // planExec is a plan compiled against concrete layouts: for every
-// (source q, destination r) pair, the source local addresses to pack
-// (in transfer order) and the destination local addresses to unpack
-// into (same order). Built once per (plan, layouts) and reused by every
-// Execute/ExecuteWith.
+// (source q, destination r) pair, either a strided run (when both the
+// pack and unpack address sequences are arithmetic progressions — the
+// common case for regular sections, where no address list is stored at
+// all) or explicit address lists in transfer order. The list-mode
+// addresses live in two shared arenas — one allocation each for the
+// whole plan instead of one per (q, r) pair — and the per-pair slices
+// are views into them. Built once per (plan, layouts) and reused by
+// every Execute/ExecuteWith; steady-state execution allocates nothing.
 type planExec struct {
 	srcLayout, dstLayout dist.Layout
-	pack                 [][][]int64 // [q][r] source local addresses
+	arenaP, arenaU       []int64     // backing stores for the list-mode slices
+	pack                 [][][]int64 // [q][r] source local addresses (nil when strided)
 	unpack               [][][]int64 // [q][r] destination local addresses
+	runs                 [][]addrRun // [q][r] strided fast path
+}
+
+// addrRun is the compiled form of a (q, r) pair whose pack and unpack
+// addresses both advance by a constant step: two base/step pairs replace
+// 2n stored addresses. ok distinguishes "strided (possibly empty)" from
+// "use the address lists".
+type addrRun struct {
+	packBase, packStep     int64
+	unpackBase, unpackStep int64
+	n                      int64
+	ok                     bool
+}
+
+// Per-pair compilation outcome counters (pairs with traffic only) and
+// compile count, visible in metric dumps next to the plan-cache stats.
+var (
+	telExecCompiles = telemetry.Default().Counter("comm.exec_compiles")
+	telPairsStrided = telemetry.Default().Counter("comm.exec_pairs_strided")
+	telPairsList    = telemetry.Default().Counter("comm.exec_pairs_list")
+)
+
+// detectRun reports whether the pack and unpack address sequences are
+// both arithmetic progressions, and compiles them to an addrRun if so.
+func detectRun(pa, ua []int64) (addrRun, bool) {
+	run := addrRun{n: int64(len(pa)), ok: true}
+	if len(pa) == 0 {
+		return run, true
+	}
+	run.packBase, run.unpackBase = pa[0], ua[0]
+	if len(pa) == 1 {
+		return run, true
+	}
+	run.packStep, run.unpackStep = pa[1]-pa[0], ua[1]-ua[0]
+	for i := 1; i < len(pa); i++ {
+		if pa[i]-pa[i-1] != run.packStep || ua[i]-ua[i-1] != run.unpackStep {
+			return addrRun{}, false
+		}
+	}
+	return run, true
 }
 
 // execFor returns the compiled address lists for the given layouts,
@@ -63,31 +108,116 @@ func (p *Plan) execFor(srcLayout, dstLayout dist.Layout) *planExec {
 	if e := p.exec.Load(); e != nil && e.srcLayout == srcLayout && e.dstLayout == dstLayout {
 		return e
 	}
+	telExecCompiles.Inc()
+	total := p.TotalVolume()
 	e := &planExec{
 		srcLayout: srcLayout,
 		dstLayout: dstLayout,
+		arenaP:    make([]int64, 0, total),
+		arenaU:    make([]int64, 0, total),
 		pack:      make([][][]int64, p.NSrc),
 		unpack:    make([][][]int64, p.NSrc),
+		runs:      make([][]addrRun, p.NSrc),
 	}
 	for q := int64(0); q < p.NSrc; q++ {
 		e.pack[q] = make([][]int64, p.NDst)
 		e.unpack[q] = make([][]int64, p.NDst)
+		e.runs[q] = make([]addrRun, p.NDst)
 		for r := int64(0); r < p.NDst; r++ {
-			var pa, ua []int64
+			// Append this pair's addresses to the arenas; capacity is exact
+			// (TotalVolume), so append never reallocates and earlier pairs'
+			// views stay valid.
+			mark := len(e.arenaP)
 			for _, ts := range p.Transfers[q][r] {
 				n := ts.Count()
 				for j := int64(0); j < n; j++ {
 					t := ts.Element(j)
-					pa = append(pa, srcLayout.Local(p.SrcSec.Element(t)))
-					ua = append(ua, dstLayout.Local(p.DstSec.Element(t)))
+					e.arenaP = append(e.arenaP, srcLayout.Local(p.SrcSec.Element(t)))
+					e.arenaU = append(e.arenaU, dstLayout.Local(p.DstSec.Element(t)))
 				}
 			}
-			e.pack[q][r] = pa
-			e.unpack[q][r] = ua
+			pa, ua := e.arenaP[mark:], e.arenaU[mark:]
+			if run, ok := detectRun(pa, ua); ok {
+				// Strided pair: two base/step pairs carry everything; give
+				// the arena space back for the next pair.
+				e.runs[q][r] = run
+				e.arenaP, e.arenaU = e.arenaP[:mark], e.arenaU[:mark]
+				if run.n > 0 {
+					telPairsStrided.Inc()
+				}
+				continue
+			}
+			e.pack[q][r], e.unpack[q][r] = pa, ua
+			telPairsList.Inc()
 		}
 	}
 	p.exec.Store(e)
 	return e
+}
+
+// count returns the number of values the (q, r) pair moves.
+func (e *planExec) count(q, r int64) int {
+	if run := &e.runs[q][r]; run.ok {
+		return int(run.n)
+	}
+	return len(e.pack[q][r])
+}
+
+// packInto appends the (q → r) source values to buf in transfer order.
+// Allocation free when buf has capacity (Execute pre-sizes it through
+// the machine's buffer pool).
+func (e *planExec) packInto(buf []float64, mem []float64, q, r int64) []float64 {
+	if run := &e.runs[q][r]; run.ok {
+		a := run.packBase
+		if run.packStep == 1 {
+			return append(buf, mem[a:a+run.n]...)
+		}
+		for i := int64(0); i < run.n; i++ {
+			buf = append(buf, mem[a])
+			a += run.packStep
+		}
+		return buf
+	}
+	for _, a := range e.pack[q][r] {
+		buf = append(buf, mem[a])
+	}
+	return buf
+}
+
+// unpackFrom writes the received (q → r) values into destination local
+// memory in transfer order. len(data) must equal count(q, r).
+func (e *planExec) unpackFrom(mem []float64, data []float64, q, r int64) {
+	if run := &e.runs[q][r]; run.ok {
+		a := run.unpackBase
+		if run.unpackStep == 1 {
+			copy(mem[a:a+run.n], data)
+			return
+		}
+		for _, v := range data {
+			mem[a] = v
+			a += run.unpackStep
+		}
+		return
+	}
+	for i, a := range e.unpack[q][r] {
+		mem[a] = data[i]
+	}
+}
+
+// combineFrom is unpackFrom folding each delivered value into the
+// destination through op (ExecuteWith's unpack path).
+func (e *planExec) combineFrom(mem []float64, data []float64, q, r int64, op BinOp) {
+	if run := &e.runs[q][r]; run.ok {
+		a := run.unpackBase
+		for _, v := range data {
+			mem[a] = op(mem[a], v)
+			a += run.unpackStep
+		}
+		return
+	}
+	for i, a := range e.unpack[q][r] {
+		mem[a] = op(mem[a], data[i])
+	}
 }
 
 // OwnedPositions returns the arithmetic progressions of positions t in
@@ -227,11 +357,8 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 		if me < p.NSrc {
 			mem := src.LocalMem(me)
 			for r := int64(0); r < p.NDst; r++ {
-				addrs := e.pack[me][r]
-				buf := machine.GetBuf(len(addrs))
-				for _, a := range addrs {
-					buf = append(buf, mem[a])
-				}
+				buf := machine.GetBuf(e.count(me, r))
+				buf = e.packInto(buf, mem, me, r)
 				// The processor-local portion also goes through the mailbox,
 				// keeping the unpack path uniform.
 				proc.Send(int(r), tag, buf, nil)
@@ -242,14 +369,11 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 			mem := dst.LocalMem(me)
 			for q := int64(0); q < p.NSrc; q++ {
 				msg := proc.Recv(int(q), tag)
-				addrs := e.unpack[q][me]
-				if len(msg.Data) != len(addrs) {
+				if want := e.count(q, me); len(msg.Data) != want {
 					panic(fmt.Sprintf("comm: received %d of %d values from proc %d",
-						len(msg.Data), len(addrs), q))
+						len(msg.Data), want, q))
 				}
-				for i, a := range addrs {
-					mem[a] = msg.Data[i]
-				}
+				e.unpackFrom(mem, msg.Data, q, me)
 				machine.PutBuf(msg.Data)
 			}
 		}

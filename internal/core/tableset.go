@@ -182,6 +182,23 @@ func (ts *TableSet) All() ([]Sequence, error) {
 	return out, nil
 }
 
+// Transitions exposes the shared offset-indexed transition table: delta[o]
+// is the local memory gap from an element at local offset o, next[o] the
+// offset of the successor element. Both slices are indexed by local offset
+// in [0, k) and are shared, read-only state — callers must not modify
+// them. ok is false in the degenerate configurations (every processor's
+// table has length ≤ 1), where no transition table exists.
+//
+// This is the Figure 8(d) table pair in its processor-independent form:
+// per processor only the start offset (start mod k) differs, so one pair
+// serves every processor of the configuration (Section 6.1).
+func (ts *TableSet) Transitions() (delta, next []int64, ok bool) {
+	if !ts.general {
+		return nil, nil, false
+	}
+	return ts.delta, ts.next, true
+}
+
 // SingleCycle reports whether the shared transition graph is one k-cycle,
 // i.e. gcd(s, pk) = 1 — the case where the paper notes that "the local AM
 // sequences are cyclic shifts of one another, and after computing the

@@ -19,6 +19,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/plancache"
 	"repro/internal/section"
 	"repro/internal/telemetry"
 )
@@ -112,12 +113,36 @@ func (a *Array) FillAll(v float64) {
 }
 
 // sectionPlan describes the per-processor node loop for a section of this
-// array: the core problem, local start/last addresses and the AM table.
+// array: the core problem, local start/last addresses, the AM table, and
+// the specialized kernel compiled from them. The kernel is selected once
+// here, at plan-compile time; every subsequent traversal dispatches
+// straight into the specialized loop.
 type sectionPlan struct {
 	start, last int64 // local addresses; start == -1 means nothing to do
 	gaps        []int64
 	count       int64
 	problem     core.Problem
+	kernel      codegen.Kernel
+}
+
+// compileKernel selects the node-code kernel for this plan. ts supplies
+// the shared offset-indexed transition tables when the configuration has
+// them, making the Figure 8(d) dispatch kernel available at zero extra
+// storage per plan.
+func (plan *sectionPlan) compileKernel(ts *core.TableSet) {
+	sp := codegen.Spec{
+		Problem: plan.problem,
+		Start:   plan.start,
+		Last:    plan.last,
+		Count:   plan.count,
+		Gaps:    plan.gaps,
+	}
+	if ts != nil {
+		if delta, next, ok := ts.Transitions(); ok {
+			sp.Delta, sp.Next = delta, next
+		}
+	}
+	plan.kernel = codegen.Compile(sp)
 }
 
 // planSection builds the node-loop plan for processor m over the section
@@ -140,7 +165,14 @@ func (a *Array) planSection(sec section.Section, m int64) (sectionPlan, error) {
 	if count == 0 {
 		return sectionPlan{start: -1, last: -1}, nil
 	}
-	seq, err := core.Lattice(pr)
+	// Go through the shared TableSet (memoized process-wide) rather than
+	// core.Lattice so the uncached path sees the same transition tables —
+	// and therefore selects the same kernel — as buildSectionPlans.
+	ts, err := plancache.Tables(pr.P, pr.K, pr.L, pr.S)
+	if err != nil {
+		return sectionPlan{}, err
+	}
+	seq, err := ts.Sequence(m)
 	if err != nil {
 		return sectionPlan{}, err
 	}
@@ -148,19 +180,22 @@ func (a *Array) planSection(sec section.Section, m int64) (sectionPlan, error) {
 	if err != nil {
 		return sectionPlan{}, err
 	}
-	return sectionPlan{
+	plan := sectionPlan{
 		start:   seq.StartLocal,
 		last:    a.layout.Local(lastGlobal),
 		gaps:    seq.Gaps,
 		count:   count,
 		problem: pr,
-	}, nil
+	}
+	plan.compileKernel(ts)
+	return plan, nil
 }
 
-// FillSection performs the array assignment A(sec) = v, running the
-// Figure 8(b) node loop independently on every processor's local memory.
-// The per-processor plans come from the section-plan cache, so repeated
-// assignments to the same section build no tables after the first.
+// FillSection performs the array assignment A(sec) = v, dispatching each
+// processor's specialized node-code kernel over its local memory. The
+// per-processor plans (kernel included) come from the section-plan
+// cache, so repeated assignments to the same section build no tables and
+// re-run no selection after the first.
 func (a *Array) FillSection(sec section.Section, v float64) error {
 	telFillOps.Inc()
 	if tr := telemetry.ActiveTracer(); tr != nil {
@@ -170,11 +205,12 @@ func (a *Array) FillSection(sec section.Section, v float64) error {
 	if err != nil || sp == nil {
 		return err
 	}
-	for m, plan := range sp.plans {
+	for m := range sp.plans {
+		plan := &sp.plans[m]
 		if plan.start < 0 {
 			continue
 		}
-		wrote := codegen.ShapeB(a.local[m], plan.start, plan.last, plan.gaps, v)
+		wrote := plan.kernel.Fill(a.local[m], v)
 		if wrote != plan.count {
 			return fmt.Errorf("hpf: internal: wrote %d of %d elements on proc %d",
 				wrote, plan.count, m)
@@ -184,7 +220,7 @@ func (a *Array) FillSection(sec section.Section, v float64) error {
 }
 
 // MapSection applies f to every element of A(sec) in place:
-// A(sec) = f(A(sec)). Order independent; plans are cached.
+// A(sec) = f(A(sec)), through each processor's cached kernel.
 func (a *Array) MapSection(sec section.Section, f func(float64) float64) error {
 	telMapOps.Inc()
 	if tr := telemetry.ActiveTracer(); tr != nil {
@@ -194,27 +230,22 @@ func (a *Array) MapSection(sec section.Section, f func(float64) float64) error {
 	if err != nil || sp == nil {
 		return err
 	}
-	for m, plan := range sp.plans {
+	for m := range sp.plans {
+		plan := &sp.plans[m]
 		if plan.start < 0 {
 			continue
 		}
-		mem := a.local[m]
-		base := plan.start
-		i := 0
-		for n := int64(0); n < plan.count; n++ {
-			mem[base] = f(mem[base])
-			base += plan.gaps[i]
-			i++
-			if i == len(plan.gaps) {
-				i = 0
-			}
+		wrote := plan.kernel.Map(a.local[m], f)
+		if wrote != plan.count {
+			return fmt.Errorf("hpf: internal: mapped %d of %d elements on proc %d",
+				wrote, plan.count, m)
 		}
 	}
 	return nil
 }
 
 // SumSection returns the sum over A(sec), computed per processor through
-// the access sequence and combined. Plans are cached.
+// each cached kernel and combined.
 func (a *Array) SumSection(sec section.Section) (float64, error) {
 	telSumOps.Inc()
 	if tr := telemetry.ActiveTracer(); tr != nil {
@@ -225,21 +256,17 @@ func (a *Array) SumSection(sec section.Section) (float64, error) {
 	if err != nil || sp == nil {
 		return 0, err
 	}
-	for m, plan := range sp.plans {
+	for m := range sp.plans {
+		plan := &sp.plans[m]
 		if plan.start < 0 {
 			continue
 		}
-		mem := a.local[m]
-		base := plan.start
-		i := 0
-		for n := int64(0); n < plan.count; n++ {
-			total += mem[base]
-			base += plan.gaps[i]
-			i++
-			if i == len(plan.gaps) {
-				i = 0
-			}
+		part, saw := plan.kernel.Sum(a.local[m])
+		if saw != plan.count {
+			return 0, fmt.Errorf("hpf: internal: summed %d of %d elements on proc %d",
+				saw, plan.count, m)
 		}
+		total += part
 	}
 	return total, nil
 }

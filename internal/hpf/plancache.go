@@ -109,6 +109,7 @@ func (a *Array) buildSectionPlans(asc section.Section) (*sectionPlans, error) {
 			count:   count,
 			problem: pr,
 		}
+		sp.plans[m].compileKernel(ts)
 	}
 	return sp, nil
 }
