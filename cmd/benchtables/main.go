@@ -6,6 +6,7 @@
 //	benchtables -table 2              # Table 2 (node code shapes)
 //	benchtables -cache                # plan-cache cold vs warm families
 //	benchtables -shapes               # generic Figure 8 shapes vs specialized kernels
+//	benchtables -locality             # block vs cyclic(k) reuse-distance profiles
 //	benchtables -all                  # everything
 //	benchtables -all -json out.json   # also write machine-readable results
 //	benchtables -all -http :8080      # live /metrics, /trace, /healthz during the runs
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/machine"
+	"repro/internal/reuse"
 	"repro/internal/telemetry"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		figure    = flag.Int("figure", 0, "regenerate Figure 7")
 		cache     = flag.Bool("cache", false, "run the plan-cache cold/warm families")
 		shapes    = flag.Bool("shapes", false, "run the shapes matrix (generic Figure 8 shapes vs specialized kernels)")
+		locality  = flag.Bool("locality", false, "run the locality matrix (block vs cyclic(k) reuse-distance profiles)")
 		all       = flag.Bool("all", false, "regenerate every table and figure")
 		procs     = flag.Int64("p", 32, "processor count (the paper uses 32)")
 		reps      = flag.Int("reps", 5, "measurement repetitions (min of maxima kept)")
@@ -51,7 +54,8 @@ func main() {
 	)
 	flag.Parse()
 	cfg := config{
-		Table: *table, Figure: *figure, Cache: *cache, Shapes: *shapes, All: *all,
+		Table: *table, Figure: *figure, Cache: *cache, Shapes: *shapes,
+		Locality: *locality, All: *all,
 		Procs: *procs, Reps: *reps, Elems: *elems, JSONPath: *jsonPath,
 		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprofAddr,
 		HTTPAddr: *httpAddr, FaultSpec: *faults, Deadline: *deadline,
@@ -66,6 +70,7 @@ type config struct {
 	Table, Figure int
 	Cache, All    bool
 	Shapes        bool
+	Locality      bool
 	Procs         int64
 	Reps          int
 	Elems         int64
@@ -88,6 +93,10 @@ type report struct {
 	Table2  []reportTable2Row `json:"table2,omitempty"`
 	Cache   []reportCacheRow  `json:"cache,omitempty"`
 	Shapes  []reportShapeRow  `json:"shapes,omitempty"`
+	// Locality rows carry line-granularity reuse-distance profiles of
+	// each Figure 8 shape family under its cyclic(k) layout vs a block
+	// layout (see internal/bench.LocalityBench).
+	Locality []reportLocalityRow `json:"locality,omitempty"`
 	// Telemetry is the process-wide registry snapshot taken after the
 	// runs (schema telemetry/v1): cache hit rates, message counts and
 	// comm volumes ride along with the timings.
@@ -126,6 +135,32 @@ type reportShapeRow struct {
 	ShapeNs         map[string]int64 `json:"shape_ns"`
 	SpecializedNs   int64            `json:"specialized_ns"`
 	SpeedupVsShapeB float64          `json:"speedup_vs_shape_b"`
+}
+
+type reportLocalityProfile struct {
+	K        int64                `json:"k"`
+	Kernel   string               `json:"kernel"`
+	Accesses int64                `json:"accesses"`
+	Lines    int64                `json:"distinct_lines"`
+	MeanDist float64              `json:"mean_distance"`
+	MaxDist  int64                `json:"max_distance"`
+	Miss     []reuse.MissEstimate `json:"miss_rates"`
+}
+
+type reportLocalityRow struct {
+	Family string                `json:"family"`
+	S      int64                 `json:"s"`
+	Elems  int64                 `json:"elems"`
+	Sweeps int                   `json:"sweeps"`
+	Cyclic reportLocalityProfile `json:"cyclic"`
+	Block  reportLocalityProfile `json:"block"`
+}
+
+func toLocalityProfile(p bench.LocalityProfile) reportLocalityProfile {
+	return reportLocalityProfile{
+		K: p.K, Kernel: p.Kernel.String(), Accesses: p.Accesses, Lines: p.Lines,
+		MeanDist: p.MeanDist, MaxDist: p.MaxDist, Miss: p.MissRates,
+	}
 }
 
 type reportCacheRow struct {
@@ -252,7 +287,7 @@ func runConfig(cfg config) error {
 		if err != nil {
 			return err
 		}
-		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache, -shapes or -all")
+		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache, -shapes, -locality or -all")
 	}
 	if traceFile != nil {
 		if t := telemetry.StopTracing(); t != nil {
@@ -363,6 +398,26 @@ func runBenches(cfg config, rep *report) (did bool, err error) {
 				row.ShapeNs[string(sh)] = d.Nanoseconds()
 			}
 			rep.Shapes = append(rep.Shapes, row)
+		}
+	}
+	if cfg.All || cfg.Locality {
+		// Two sweeps: the first is all cold misses, the second exposes the
+		// layout's reuse structure.
+		results, err := bench.LocalityBench(cfg.Procs, cfg.Elems, 2, nil)
+		if err != nil {
+			return did, err
+		}
+		if did {
+			fmt.Println()
+		}
+		fmt.Print(bench.FormatLocality(results))
+		did = true
+		for _, r := range results {
+			rep.Locality = append(rep.Locality, reportLocalityRow{
+				Family: r.Family, S: r.S, Elems: r.Elems, Sweeps: r.Sweeps,
+				Cyclic: toLocalityProfile(r.Cyclic),
+				Block:  toLocalityProfile(r.Block),
+			})
 		}
 	}
 	if cfg.All || cfg.Cache {

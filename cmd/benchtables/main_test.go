@@ -77,6 +77,45 @@ func TestRunCacheWithJSON(t *testing.T) {
 	}
 }
 
+func TestRunLocalityWithJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locality.json")
+	cfg := config{Locality: true, Procs: 2, Reps: 1, Elems: 128, JSONPath: path}
+	if err := runConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Schema != "benchtables/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Locality) != 7 {
+		t.Fatalf("got %d locality rows, want 7 (one per shape family)", len(rep.Locality))
+	}
+	for _, r := range rep.Locality {
+		if r.Sweeps != 2 || r.Elems != 128 {
+			t.Errorf("%s: row config = %+v", r.Family, r)
+		}
+		for _, p := range []reportLocalityProfile{r.Cyclic, r.Block} {
+			if p.Accesses != 2*2*128 {
+				t.Errorf("%s: accesses = %d, want %d", r.Family, p.Accesses, 2*2*128)
+			}
+			if p.Lines <= 0 || len(p.Miss) == 0 || p.Kernel == "" {
+				t.Errorf("%s: incomplete profile %+v", r.Family, p)
+			}
+		}
+		// Block distributions collapse to a const-gap kernel.
+		if r.Block.Kernel != "constgap" {
+			t.Errorf("%s: block kernel = %q", r.Family, r.Block.Kernel)
+		}
+	}
+}
+
 func TestInvalidFaultSpec(t *testing.T) {
 	err := runConfig(config{Cache: true, Procs: 2, Reps: 1, Elems: 100,
 		FaultSpec: "drop=2"})

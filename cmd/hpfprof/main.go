@@ -20,6 +20,8 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/reuse"
+	"repro/internal/telemetry"
 	"repro/internal/traceanalysis"
 )
 
@@ -27,15 +29,20 @@ import (
 // detect format drift.
 const ReportSchema = "hpfprof/v1"
 
+// MemReportSchema tags -mem -json output (hpfmem's format; hpfprof -mem
+// is a convenience alias for the hpfmem CLI).
+const MemReportSchema = "hpfmem/v1"
+
 func main() {
 	var (
 		top      = flag.Int("top", 10, "rows to show in the per-operation tables (0 = all)")
 		jsonOut  = flag.Bool("json", false, "emit the full analysis as "+ReportSchema+" JSON instead of text")
 		maxSteps = flag.Int("steps", 0, "with -json, cap critical_path.steps at this many entries (0 = all; totals and by_op stay complete)")
+		mem      = flag.Bool("mem", false, "treat the input as an accesstrace/v1 memory trace and run the reuse-distance locality analysis (like hpfmem)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: hpfprof [flags] <trace-file>\n\nAnalyzes a trace/v1 or Chrome trace_event JSON file (\"-\" reads stdin).\n\n")
+			"usage: hpfprof [flags] <trace-file>\n\nAnalyzes a trace/v1 or Chrome trace_event JSON file (\"-\" reads stdin).\nWith -mem, analyzes an accesstrace/v1 memory trace instead.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,10 +50,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, os.Stderr, flag.Arg(0), *top, *maxSteps, *jsonOut); err != nil {
+	var err error
+	if *mem {
+		err = runMem(os.Stdout, os.Stderr, flag.Arg(0), *jsonOut)
+	} else {
+		err = run(os.Stdout, os.Stderr, flag.Arg(0), *top, *maxSteps, *jsonOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpfprof:", err)
 		os.Exit(1)
 	}
+}
+
+// runMem is the hpfmem analysis inlined: locality tables from a memory
+// access trace.
+func runMem(w, ew io.Writer, path string, jsonOut bool) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := telemetry.ReadAccessTrace(r)
+	if err != nil {
+		return err
+	}
+	rep := reuse.BuildReport(doc, reuse.Options{Chunks: 4})
+	if !jsonOut {
+		return rep.WriteText(w)
+	}
+	if rep.Dropped > 0 {
+		fmt.Fprintf(ew, "hpfprof: WARNING: access rings overwrote %d records; distances near the start of the run are missing or inflated\n", rep.Dropped)
+	}
+	out := struct {
+		Schema string `json:"schema"`
+		*reuse.Report
+	}{MemReportSchema, rep}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func run(w, ew io.Writer, path string, top, maxSteps int, jsonOut bool) error {

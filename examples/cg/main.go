@@ -16,6 +16,7 @@
 //
 //	go run ./examples/cg
 //	go run ./examples/cg -p 8 -n 512 -trace cg.json
+//	go run ./examples/cg -memtrace access.json   # then: hpfmem access.json
 package main
 
 import (
@@ -40,6 +41,7 @@ var (
 	// n must stay a multiple of p*k so halos cover whole blocks.
 	n     = flag.Int64("n", 256, "unknowns (must be a multiple of p*k)")
 	trace = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	mem   = flag.String("memtrace", "", "write an accesstrace/v1 JSON of every distributed-memory access to this file (analyze with hpfmem)")
 )
 
 // matvec computes y = A·p for the tridiagonal Poisson matrix, using one
@@ -125,6 +127,11 @@ func main() {
 	if *trace != "" {
 		telemetry.StartTracing(int(procs), 1<<15)
 	}
+	if *mem != "" {
+		// Ring capacity 2^20 records per rank (16 MiB); very long runs keep
+		// the most recent window and the hpfmem report warns about the rest.
+		telemetry.StartAccessRecording(int(procs), 1<<20, 1)
+	}
 	layout := dist.MustNew(procs, k)
 	m := machine.MustNew(int(procs))
 
@@ -201,5 +208,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ntrace: wrote %s (analyze with: go run ./cmd/hpfprof %s)\n", *trace, *trace)
+	}
+	if *mem != "" {
+		ar := telemetry.StopAccessRecording()
+		f, err := os.Create(*mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ar.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if d := ar.Dropped(); d > 0 {
+			fmt.Printf("\nmemtrace: ring kept only the last window (%d records overwritten)\n", d)
+		}
+		fmt.Printf("\nmemtrace: wrote %s (analyze with: go run ./cmd/hpfmem %s)\n", *mem, *mem)
 	}
 }

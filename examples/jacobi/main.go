@@ -15,6 +15,7 @@
 //
 //	go run ./examples/jacobi
 //	go run ./examples/jacobi -p 8 -sweeps 1000 -trace jacobi.json
+//	go run ./examples/jacobi -sweeps 64 -memtrace access.json  # then: hpfmem access.json
 package main
 
 import (
@@ -39,17 +40,23 @@ func main() {
 		n      = flag.Int64("n", 64, "array size")
 		sweeps = flag.Int("sweeps", 4096, "relaxation sweeps")
 		trace  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		mem    = flag.String("memtrace", "", "write an accesstrace/v1 JSON of every distributed-memory access to this file (analyze with hpfmem)")
 	)
 	flag.Parse()
-	run(*procs, *k, *n, *sweeps, *trace)
+	run(*procs, *k, *n, *sweeps, *trace, *mem)
 }
 
-func run(procs, k, n int64, sweeps int, tracePath string) {
+func run(procs, k, n int64, sweeps int, tracePath, memPath string) {
 	if n < 3 {
 		log.Fatal("need -n >= 3 for an interior")
 	}
 	if tracePath != "" {
 		telemetry.StartTracing(int(procs), 1<<15)
+	}
+	if memPath != "" {
+		// Ring capacity 2^20 records per rank (16 MiB); very long runs keep
+		// the most recent window and the hpfmem report warns about the rest.
+		telemetry.StartAccessRecording(int(procs), 1<<20, 1)
 	}
 	layout := dist.MustNew(procs, k)
 	m := machine.MustNew(int(procs))
@@ -143,5 +150,22 @@ func run(procs, k, n int64, sweeps int, tracePath string) {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ntrace: wrote %s (analyze with: go run ./cmd/hpfprof %s)\n", tracePath, tracePath)
+	}
+	if memPath != "" {
+		ar := telemetry.StopAccessRecording()
+		f, err := os.Create(memPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ar.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if d := ar.Dropped(); d > 0 {
+			fmt.Printf("\nmemtrace: ring kept only the last window (%d records overwritten)\n", d)
+		}
+		fmt.Printf("\nmemtrace: wrote %s (analyze with: go run ./cmd/hpfmem %s)\n", memPath, memPath)
 	}
 }

@@ -30,6 +30,12 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 	}
 	const tag = "comm.combine"
 	e := p.execFor(src.Layout(), dst.Layout())
+	ar := telemetry.ActiveAccessRecorder()
+	var packStep, combineStep uint32
+	if ar != nil {
+		packStep = ar.BeginStep("comm.pack")
+		combineStep = ar.BeginStep("comm.combine")
+	}
 	m.Run(func(proc *machine.Proc) {
 		tr := telemetry.ActiveTracer()
 		var t0 int64
@@ -41,7 +47,11 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 			mem := src.LocalMem(me)
 			for r := int64(0); r < p.NDst; r++ {
 				buf := machine.GetBuf(e.count(me, r))
-				buf = e.packInto(buf, mem, me, r)
+				if ar != nil {
+					buf = e.packTraced(buf, mem, me, r, ar, packStep)
+				} else {
+					buf = e.packInto(buf, mem, me, r)
+				}
 				proc.Send(int(r), tag, buf, nil)
 			}
 		}
@@ -53,7 +63,11 @@ func (p *Plan) ExecuteWith(m *machine.Machine, dst, src *hpf.Array, op BinOp) er
 					panic(fmt.Sprintf("comm: received %d of %d values from proc %d",
 						len(msg.Data), want, q))
 				}
-				e.combineFrom(mem, msg.Data, q, me, op)
+				if ar != nil {
+					e.combineTraced(mem, msg.Data, q, me, op, ar, combineStep)
+				} else {
+					e.combineFrom(mem, msg.Data, q, me, op)
+				}
 				machine.PutBuf(msg.Data)
 			}
 		}

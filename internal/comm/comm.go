@@ -220,6 +220,68 @@ func (e *planExec) combineFrom(mem []float64, data []float64, q, r int64, op Bin
 	}
 }
 
+// packTraced is packInto with every source-memory load recorded on
+// rank q's access timeline.
+func (e *planExec) packTraced(buf []float64, mem []float64, q, r int64,
+	ar *telemetry.AccessRecorder, step uint32) []float64 {
+	if run := &e.runs[q][r]; run.ok {
+		a := run.packBase
+		for i := int64(0); i < run.n; i++ {
+			buf = append(buf, mem[a])
+			ar.Record(int32(q), a, telemetry.AccessRead, step)
+			a += run.packStep
+		}
+		return buf
+	}
+	for _, a := range e.pack[q][r] {
+		buf = append(buf, mem[a])
+		ar.Record(int32(q), a, telemetry.AccessRead, step)
+	}
+	return buf
+}
+
+// unpackTraced is unpackFrom with every destination store recorded on
+// rank r's access timeline.
+func (e *planExec) unpackTraced(mem []float64, data []float64, q, r int64,
+	ar *telemetry.AccessRecorder, step uint32) {
+	if run := &e.runs[q][r]; run.ok {
+		a := run.unpackBase
+		for _, v := range data {
+			mem[a] = v
+			ar.Record(int32(r), a, telemetry.AccessWrite, step)
+			a += run.unpackStep
+		}
+		return
+	}
+	for i, a := range e.unpack[q][r] {
+		mem[a] = data[i]
+		ar.Record(int32(r), a, telemetry.AccessWrite, step)
+	}
+}
+
+// combineTraced is combineFrom recording the read-modify-write each
+// delivered value performs on the destination.
+func (e *planExec) combineTraced(mem []float64, data []float64, q, r int64, op BinOp,
+	ar *telemetry.AccessRecorder, step uint32) {
+	if run := &e.runs[q][r]; run.ok {
+		a := run.unpackBase
+		for _, v := range data {
+			old := mem[a]
+			ar.Record(int32(r), a, telemetry.AccessRead, step)
+			mem[a] = op(old, v)
+			ar.Record(int32(r), a, telemetry.AccessWrite, step)
+			a += run.unpackStep
+		}
+		return
+	}
+	for i, a := range e.unpack[q][r] {
+		old := mem[a]
+		ar.Record(int32(r), a, telemetry.AccessRead, step)
+		mem[a] = op(old, data[i])
+		ar.Record(int32(r), a, telemetry.AccessWrite, step)
+	}
+}
+
 // OwnedPositions returns the arithmetic progressions of positions t in
 // [0, n) whose section element sec(t) = lo + t·stride is owned by
 // processor m of the layout. At most k progressions, found by solving one
@@ -344,6 +406,14 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 	}
 	const tag = "comm.copy"
 	e := p.execFor(src.Layout(), dst.Layout())
+	// Access-trace steps are created once, on the host, before the SPMD
+	// body; ranks record concurrently into their own rings.
+	ar := telemetry.ActiveAccessRecorder()
+	var packStep, unpackStep uint32
+	if ar != nil {
+		packStep = ar.BeginStep("comm.pack")
+		unpackStep = ar.BeginStep("comm.unpack")
+	}
 	m.Run(func(proc *machine.Proc) {
 		tr := telemetry.ActiveTracer()
 		var t0 int64
@@ -358,7 +428,11 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 			mem := src.LocalMem(me)
 			for r := int64(0); r < p.NDst; r++ {
 				buf := machine.GetBuf(e.count(me, r))
-				buf = e.packInto(buf, mem, me, r)
+				if ar != nil {
+					buf = e.packTraced(buf, mem, me, r, ar, packStep)
+				} else {
+					buf = e.packInto(buf, mem, me, r)
+				}
 				// The processor-local portion also goes through the mailbox,
 				// keeping the unpack path uniform.
 				proc.Send(int(r), tag, buf, nil)
@@ -373,7 +447,11 @@ func (p *Plan) Execute(m *machine.Machine, dst, src *hpf.Array) error {
 					panic(fmt.Sprintf("comm: received %d of %d values from proc %d",
 						len(msg.Data), want, q))
 				}
-				e.unpackFrom(mem, msg.Data, q, me)
+				if ar != nil {
+					e.unpackTraced(mem, msg.Data, q, me, ar, unpackStep)
+				} else {
+					e.unpackFrom(mem, msg.Data, q, me)
+				}
 				machine.PutBuf(msg.Data)
 			}
 		}

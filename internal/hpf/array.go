@@ -191,11 +191,25 @@ func (a *Array) planSection(sec section.Section, m int64) (sectionPlan, error) {
 	return plan, nil
 }
 
+// kindLabel names the kernel kind the plans compiled to (the kind of
+// the first non-empty processor; all processors of a section share the
+// same (p, k, l, s) class). Access-trace step labels carry it so the
+// locality profiler can slice reuse profiles per kernel kind.
+func (sp *sectionPlans) kindLabel() string {
+	for m := range sp.plans {
+		if sp.plans[m].start >= 0 {
+			return sp.plans[m].kernel.Kind().String()
+		}
+	}
+	return codegen.KindNone.String()
+}
+
 // FillSection performs the array assignment A(sec) = v, dispatching each
 // processor's specialized node-code kernel over its local memory. The
 // per-processor plans (kernel included) come from the section-plan
 // cache, so repeated assignments to the same section build no tables and
-// re-run no selection after the first.
+// re-run no selection after the first. With an access recorder active
+// the op becomes one trace step and every store is recorded per rank.
 func (a *Array) FillSection(sec section.Section, v float64) error {
 	telFillOps.Inc()
 	if tr := telemetry.ActiveTracer(); tr != nil {
@@ -204,6 +218,21 @@ func (a *Array) FillSection(sec section.Section, v float64) error {
 	sp, err := a.cachedSectionPlans(sec)
 	if err != nil || sp == nil {
 		return err
+	}
+	if ar := telemetry.ActiveAccessRecorder(); ar != nil {
+		step := ar.BeginStep("hpf.fill_section:" + sp.kindLabel())
+		for m := range sp.plans {
+			plan := &sp.plans[m]
+			if plan.start < 0 {
+				continue
+			}
+			wrote := plan.kernel.FillTraced(a.local[m], v, ar, int32(m), step)
+			if wrote != plan.count {
+				return fmt.Errorf("hpf: internal: wrote %d of %d elements on proc %d",
+					wrote, plan.count, m)
+			}
+		}
+		return nil
 	}
 	for m := range sp.plans {
 		plan := &sp.plans[m]
@@ -230,6 +259,21 @@ func (a *Array) MapSection(sec section.Section, f func(float64) float64) error {
 	if err != nil || sp == nil {
 		return err
 	}
+	if ar := telemetry.ActiveAccessRecorder(); ar != nil {
+		step := ar.BeginStep("hpf.map_section:" + sp.kindLabel())
+		for m := range sp.plans {
+			plan := &sp.plans[m]
+			if plan.start < 0 {
+				continue
+			}
+			wrote := plan.kernel.MapTraced(a.local[m], f, ar, int32(m), step)
+			if wrote != plan.count {
+				return fmt.Errorf("hpf: internal: mapped %d of %d elements on proc %d",
+					wrote, plan.count, m)
+			}
+		}
+		return nil
+	}
 	for m := range sp.plans {
 		plan := &sp.plans[m]
 		if plan.start < 0 {
@@ -255,6 +299,22 @@ func (a *Array) SumSection(sec section.Section) (float64, error) {
 	sp, err := a.cachedSectionPlans(sec)
 	if err != nil || sp == nil {
 		return 0, err
+	}
+	if ar := telemetry.ActiveAccessRecorder(); ar != nil {
+		step := ar.BeginStep("hpf.sum_section:" + sp.kindLabel())
+		for m := range sp.plans {
+			plan := &sp.plans[m]
+			if plan.start < 0 {
+				continue
+			}
+			part, saw := plan.kernel.SumTraced(a.local[m], ar, int32(m), step)
+			if saw != plan.count {
+				return 0, fmt.Errorf("hpf: internal: summed %d of %d elements on proc %d",
+					saw, plan.count, m)
+			}
+			total += part
+		}
+		return total, nil
 	}
 	for m := range sp.plans {
 		plan := &sp.plans[m]
@@ -283,6 +343,15 @@ func (a *Array) GatherSection(sec section.Section) ([]float64, error) {
 	if asc.Lo < 0 || asc.Last() >= a.n {
 		return nil, fmt.Errorf("hpf: section %v outside array [0, %d)", sec, a.n)
 	}
+	if ar := telemetry.ActiveAccessRecorder(); ar != nil {
+		step := ar.BeginStep("hpf.gather_section")
+		for j := int64(0); j < n; j++ {
+			i := sec.Element(j)
+			out = append(out, a.Get(i))
+			ar.Record(int32(a.layout.Owner(i)), a.layout.Local(i), telemetry.AccessRead, step)
+		}
+		return out, nil
+	}
 	for j := int64(0); j < n; j++ {
 		out = append(out, a.Get(sec.Element(j)))
 	}
@@ -301,6 +370,15 @@ func (a *Array) ScatterSection(sec section.Section, vals []float64) error {
 	asc, _ := sec.Ascending()
 	if asc.Lo < 0 || asc.Last() >= a.n {
 		return fmt.Errorf("hpf: section %v outside array [0, %d)", sec, a.n)
+	}
+	if ar := telemetry.ActiveAccessRecorder(); ar != nil {
+		step := ar.BeginStep("hpf.scatter_section")
+		for j := int64(0); j < n; j++ {
+			i := sec.Element(j)
+			a.Set(i, vals[j])
+			ar.Record(int32(a.layout.Owner(i)), a.layout.Local(i), telemetry.AccessWrite, step)
+		}
+		return nil
 	}
 	for j := int64(0); j < n; j++ {
 		a.Set(sec.Element(j), vals[j])

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"io"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -38,6 +40,41 @@ func TestWritePrometheus(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWritePrometheusGolden pins the full exposition byte-for-byte:
+// TYPE lines, sorted metric order, cumulative le-labelled buckets, the
+// +Inf bucket, and the _sum/_count samples the text format (0.0.4)
+// requires. Regenerate with: go test ./internal/telemetry -run Golden -update
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("machine.messages_sent").Add(7)
+	r.Counter("codegen.kernel_invocations.constgap").Add(2)
+	r.Gauge("plancache.comm-1d.entries").Set(3)
+	if err := r.RegisterGaugeFunc("trace.dropped_events", func() int64 { return 5 }); err != nil {
+		t.Fatal(err)
+	}
+	h := r.Histogram("machine.recv_wait_ns")
+	for _, v := range []int64{0, 3, 3, 1000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, buf.String(), want)
 	}
 }
 
