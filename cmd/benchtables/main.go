@@ -7,6 +7,7 @@
 //	benchtables -cache                # plan-cache cold vs warm families
 //	benchtables -shapes               # generic Figure 8 shapes vs specialized kernels
 //	benchtables -locality             # block vs cyclic(k) reuse-distance profiles
+//	benchtables -serve                # hpfd cold-key herd: coalesced vs no-coalesce
 //	benchtables -all                  # everything
 //	benchtables -all -json out.json   # also write machine-readable results
 //	benchtables -all -http :8080      # live /metrics, /trace, /healthz during the runs
@@ -40,6 +41,8 @@ func main() {
 		cache     = flag.Bool("cache", false, "run the plan-cache cold/warm families")
 		shapes    = flag.Bool("shapes", false, "run the shapes matrix (generic Figure 8 shapes vs specialized kernels)")
 		locality  = flag.Bool("locality", false, "run the locality matrix (block vs cyclic(k) reuse-distance profiles)")
+		serveBn   = flag.Bool("serve", false, "run the hpfd plan-service herd benchmark (coalesced vs no-coalesce)")
+		herd      = flag.Int("herd", 64, "concurrent clients per cold key for -serve")
 		all       = flag.Bool("all", false, "regenerate every table and figure")
 		procs     = flag.Int64("p", 32, "processor count (the paper uses 32)")
 		reps      = flag.Int("reps", 5, "measurement repetitions (min of maxima kept)")
@@ -55,7 +58,7 @@ func main() {
 	flag.Parse()
 	cfg := config{
 		Table: *table, Figure: *figure, Cache: *cache, Shapes: *shapes,
-		Locality: *locality, All: *all,
+		Locality: *locality, Serve: *serveBn, Herd: *herd, All: *all,
 		Procs: *procs, Reps: *reps, Elems: *elems, JSONPath: *jsonPath,
 		TracePath: *trace, Metrics: *metrics, PprofAddr: *pprofAddr,
 		HTTPAddr: *httpAddr, FaultSpec: *faults, Deadline: *deadline,
@@ -71,6 +74,8 @@ type config struct {
 	Cache, All    bool
 	Shapes        bool
 	Locality      bool
+	Serve         bool
+	Herd          int
 	Procs         int64
 	Reps          int
 	Elems         int64
@@ -97,6 +102,10 @@ type report struct {
 	// each Figure 8 shape family under its cyclic(k) layout vs a block
 	// layout (see internal/bench.LocalityBench).
 	Locality []reportLocalityRow `json:"locality,omitempty"`
+	// Serve rows compare the hpfd plan service's cold-key thundering
+	// herd with and without request coalescing (see
+	// internal/bench.ServeBench).
+	Serve []reportServeRow `json:"serve,omitempty"`
 	// Telemetry is the process-wide registry snapshot taken after the
 	// runs (schema telemetry/v1): cache hit rates, message counts and
 	// comm volumes ride along with the timings.
@@ -161,6 +170,19 @@ func toLocalityProfile(p bench.LocalityProfile) reportLocalityProfile {
 		K: p.K, Kernel: p.Kernel.String(), Accesses: p.Accesses, Lines: p.Lines,
 		MeanDist: p.MeanDist, MaxDist: p.MaxDist, Miss: p.MissRates,
 	}
+}
+
+type reportServeRow struct {
+	Mode      string `json:"mode"` // "coalesced" or "no-coalesce"
+	Herd      int    `json:"herd"`
+	Rounds    int    `json:"rounds"`
+	Builds    int64  `json:"builds"`
+	Coalesced int64  `json:"coalesced"`
+	OK        int64  `json:"ok"`
+	ColdP50Ns int64  `json:"cold_p50_ns"`
+	ColdP99Ns int64  `json:"cold_p99_ns"`
+	WarmP50Ns int64  `json:"warm_p50_ns"`
+	WarmP99Ns int64  `json:"warm_p99_ns"`
 }
 
 type reportCacheRow struct {
@@ -236,13 +258,19 @@ func runConfig(cfg config) error {
 		}
 		traceFile = f
 	}
+	// The pprof listener binds synchronously, like -http below: a bad
+	// address fails the run before any measurement starts (and ":0"
+	// works, with the bound address printed), instead of a goroutine
+	// complaining to stderr mid-benchmark.
 	if cfg.PprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "benchtables: pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "benchtables: pprof on http://%s/debug/pprof/\n", cfg.PprofAddr)
+		ln, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("cannot serve on -pprof address: %w", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, nil)
+		fmt.Fprintf(os.Stderr, "benchtables: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	}
 	if cfg.HTTPAddr != "" {
 		ln, err := net.Listen("tcp", cfg.HTTPAddr)
@@ -287,7 +315,7 @@ func runConfig(cfg config) error {
 		if err != nil {
 			return err
 		}
-		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache, -shapes, -locality or -all")
+		return fmt.Errorf("nothing selected: use -table 1, -table 2, -figure 7, -cache, -shapes, -locality, -serve or -all")
 	}
 	if traceFile != nil {
 		if t := telemetry.StopTracing(); t != nil {
@@ -417,6 +445,30 @@ func runBenches(cfg config, rep *report) (did bool, err error) {
 				Family: r.Family, S: r.S, Elems: r.Elems, Sweeps: r.Sweeps,
 				Cyclic: toLocalityProfile(r.Cyclic),
 				Block:  toLocalityProfile(r.Block),
+			})
+		}
+	}
+	if cfg.All || cfg.Serve {
+		// Rounds scale with reps: each round is one fresh cold key.
+		rounds := cfg.Reps
+		if rounds > 5 {
+			rounds = 5
+		}
+		results, err := bench.ServeBench(cfg.Herd, rounds)
+		if err != nil {
+			return did, err
+		}
+		if did {
+			fmt.Println()
+		}
+		fmt.Print(bench.FormatServeBench(results))
+		did = true
+		for _, r := range results {
+			rep.Serve = append(rep.Serve, reportServeRow{
+				Mode: r.Mode, Herd: r.Herd, Rounds: r.Rounds,
+				Builds: r.Builds, Coalesced: r.Coalesced, OK: r.OK,
+				ColdP50Ns: r.ColdP50Ns, ColdP99Ns: r.ColdP99Ns,
+				WarmP50Ns: r.WarmP50Ns, WarmP99Ns: r.WarmP99Ns,
 			})
 		}
 	}

@@ -1,0 +1,154 @@
+// Command hpfd serves the paper's plan compiler as a multi-tenant HTTP
+// service. One plan — the AM-table set, per-rank access sequences and
+// selected node-code kernels for a (p, k, l, u, s) key — is a pure
+// function of its key, so hpfd can hand out deterministic ETags,
+// coalesce a thundering herd of identical cold misses onto a single
+// compilation, and serve warm keys straight from its LRU.
+//
+//	hpfd                              # serve on localhost:8080
+//	hpfd -addr :0                     # any free port (the bound address is printed)
+//	hpfd -tenant-qps 50 -tenant-burst 20   # per-tenant token buckets (X-Tenant header)
+//	hpfd -max-inflight 16             # bound concurrent compiles; overflow gets 429
+//	hpfd -drain 30s                   # graceful-shutdown budget on SIGINT/SIGTERM
+//	hpfd -pprof localhost:6060        # serve net/http/pprof alongside
+//
+// Endpoints:
+//
+//	POST /v1/plan        {"p":4,"k":8,"l":4,"u":319,"s":9}  -> hpfd/v1 plan document
+//	GET  /v1/plan?p=4&k=8&l=4&u=319&s=9                     -> same document, URL-addressable
+//	POST /v1/plan/batch  {"requests":[...]}                 -> hpfd/batch/v1, per-key partial failure
+//	GET  /metrics /healthz /trace                           -> shared telemetry surface
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8080", "address to serve on (\":0\" picks a free port)")
+		cache       = flag.Int("cache", 4096, "compiled-plan LRU capacity (keys)")
+		maxInflight = flag.Int("max-inflight", 64, "maximum concurrently running plan compilations; further cold misses get 429")
+		tenantQPS   = flag.Float64("tenant-qps", 0, "per-tenant steady-state requests/second (X-Tenant header); 0 disables quotas")
+		tenantBurst = flag.Float64("tenant-burst", 32, "per-tenant burst allowance")
+		maxBatch    = flag.Int("max-batch", 256, "maximum keys in one /v1/plan/batch request")
+		noCoalesce  = flag.Bool("no-coalesce", false, "serve every cold miss with its own compilation (benchmark baseline; never use in production)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget: in-flight requests get this long to finish")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	)
+	flag.Parse()
+	cfg := config{
+		Addr:        *addr,
+		Cache:       *cache,
+		MaxInflight: *maxInflight,
+		TenantQPS:   *tenantQPS,
+		TenantBurst: *tenantBurst,
+		MaxBatch:    *maxBatch,
+		NoCoalesce:  *noCoalesce,
+		Drain:       *drain,
+		PprofAddr:   *pprofAddr,
+	}
+	if err := runConfig(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "hpfd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	Addr        string
+	Cache       int
+	MaxInflight int
+	TenantQPS   float64
+	TenantBurst float64
+	MaxBatch    int
+	NoCoalesce  bool
+	Drain       time.Duration
+	PprofAddr   string
+
+	// afterStart, when set, is called with the bound listen address once
+	// the server is accepting connections — the hook tests use to drive
+	// requests at a ":0" instance.
+	afterStart func(addr string)
+	// stop, when non-nil, triggers the same graceful shutdown as
+	// SIGINT/SIGTERM when it becomes readable — so tests can exercise the
+	// drain path without signaling the test process.
+	stop <-chan struct{}
+}
+
+func runConfig(cfg config) error {
+	// Both listeners bind synchronously so a bad address fails the start
+	// with an error naming the flag — not a goroutine printing to stderr
+	// after the service claimed to be up — and so ":0" addresses can be
+	// reported to the caller.
+	if cfg.PprofAddr != "" {
+		ln, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("cannot serve on -pprof address: %w", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, nil)
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+	}
+	srv, err := serve.New(serve.Config{
+		CacheCapacity: cfg.Cache,
+		MaxInflight:   cfg.MaxInflight,
+		TenantRate:    cfg.TenantQPS,
+		TenantBurst:   cfg.TenantBurst,
+		MaxBatch:      cfg.MaxBatch,
+		NoCoalesce:    cfg.NoCoalesce,
+		MetricsName:   "hpfd.plans",
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cannot serve on -addr address: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	fmt.Printf("hpfd: serving on http://%s/ (plan: /v1/plan, batch: /v1/plan/batch, ops: /metrics /healthz /trace)\n", ln.Addr())
+	if cfg.TenantQPS > 0 {
+		fmt.Printf("hpfd: per-tenant quota %.3g req/s, burst %.3g (X-Tenant header)\n", cfg.TenantQPS, cfg.TenantBurst)
+	}
+	if cfg.afterStart != nil {
+		cfg.afterStart(ln.Addr().String())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-served:
+		// Serve never returns nil; reaching here without Shutdown means
+		// the listener failed underneath us.
+		return fmt.Errorf("server failed: %w", err)
+	case s := <-sig:
+		fmt.Printf("hpfd: %v — draining (up to %v)\n", s, cfg.Drain)
+	case <-cfg.stop:
+		fmt.Printf("hpfd: stop requested — draining (up to %v)\n", cfg.Drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain exceeded %v: %w", cfg.Drain, err)
+	}
+	<-served // http.ErrServerClosed
+	st := srv.Stats()
+	fmt.Printf("hpfd: drained; cache %d entries, %d hits, %d compiles, %d coalesced waiters\n",
+		st.Entries, st.Hits, st.Misses, st.Coalesced)
+	return nil
+}

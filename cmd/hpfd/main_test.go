@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer runs runConfig on a free port in the background and
+// returns the bound address plus a shutdown-and-wait function.
+func startServer(t *testing.T, cfg config) (string, func() error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	cfg.Addr = "127.0.0.1:0"
+	cfg.afterStart = func(addr string) { addrCh <- addr }
+	cfg.stop = stop
+	go func() { done <- runConfig(cfg) }()
+	select {
+	case addr := <-addrCh:
+		return addr, func() error {
+			close(stop)
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(10 * time.Second):
+				t.Fatal("runConfig did not return after stop")
+				return nil
+			}
+		}
+	case err := <-done:
+		t.Fatalf("server exited before start: %v", err)
+		return "", nil
+	}
+}
+
+// TestServeLifecycle boots hpfd on :0, exercises the plan and ops
+// endpoints over real HTTP, and shuts down gracefully.
+func TestServeLifecycle(t *testing.T) {
+	addr, shutdown := startServer(t, config{Drain: 5 * time.Second})
+	url := "http://" + addr
+
+	body := []byte(`{"p":4,"k":8,"l":4,"u":319,"s":9}`)
+	resp, err := http.Post(url+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/plan = %d: %s", resp.StatusCode, plan)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("plan response has no ETag")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(plan, &doc); err != nil || doc["schema"] != "hpfd/v1" {
+		t.Fatalf("bad plan document (%v): %s", err, plan)
+	}
+
+	// Conditional revalidation against the running daemon.
+	req, _ := http.NewRequest(http.MethodPost, url+"/v1/plan", bytes.NewReader(body))
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional request = %d, want 304", resp.StatusCode)
+	}
+
+	// The ops surface is mounted, with both the hpfd.* counters and the
+	// plan cache's plancache.hpfd.plans.* gauges.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"hpfd_requests", "plancache_hpfd_plans_misses"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	resp, err = http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d", resp.StatusCode)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// The port is released after shutdown.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestBadAddrFailsFast: an unusable -addr must fail runConfig
+// synchronously with an error naming the flag — not report success and
+// die in a goroutine.
+func TestBadAddrFailsFast(t *testing.T) {
+	err := runConfig(config{Addr: "256.256.256.256:1", Drain: time.Second})
+	if err == nil {
+		t.Fatal("runConfig succeeded with an unusable -addr")
+	}
+	if !strings.Contains(err.Error(), "-addr") {
+		t.Errorf("error %q does not name the -addr flag", err)
+	}
+}
+
+// TestBadPprofFailsFast: same contract for the -pprof listener, which
+// historically started asynchronously and could fail after startup.
+func TestBadPprofFailsFast(t *testing.T) {
+	// Occupy a port so the pprof bind deterministically fails.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = runConfig(config{Addr: "127.0.0.1:0", PprofAddr: ln.Addr().String(), Drain: time.Second})
+	if err == nil {
+		t.Fatal("runConfig succeeded with an occupied -pprof address")
+	}
+	if !strings.Contains(err.Error(), "-pprof") {
+		t.Errorf("error %q does not name the -pprof flag", err)
+	}
+}

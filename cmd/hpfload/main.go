@@ -1,0 +1,317 @@
+// Command hpfload drives a zipf-keyed request load at a running hpfd
+// instance and reports client-observed latency percentiles together
+// with the server's coalescing effectiveness (scraped from /metrics
+// before and after the run). A zipf key popularity with s slightly
+// above 1 is the classic cache workload: a few hot keys dominate, so
+// the interesting behavior — thundering herds on a popular cold key —
+// happens naturally at the start of every run.
+//
+//	hpfload -addr localhost:8080                  # 2000 requests, 16 workers, 64 keys
+//	hpfload -addr localhost:8080 -n 10000 -c 64   # heavier burst
+//	hpfload -addr localhost:8080 -zipf 0          # uniform key popularity
+//	hpfload -addr localhost:8080 -json            # hpfload/v1 machine-readable report
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "hpfd address to load (host:port; required)")
+		n       = flag.Int64("n", 2000, "total number of requests")
+		c       = flag.Int("c", 16, "concurrent workers")
+		keys    = flag.Int("keys", 64, "number of distinct plan keys in the working set")
+		zipf    = flag.Float64("zipf", 1.2, "zipf s parameter for key popularity (> 1; <= 1 means uniform)")
+		seed    = flag.Int64("seed", 1, "random seed for key selection (runs are reproducible)")
+		tenant  = flag.String("tenant", "", "X-Tenant header to send with every request")
+		asJSON  = flag.Bool("json", false, "emit the hpfload/v1 report as JSON instead of text")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	cfg := loadConfig{Addr: *addr, N: *n, C: *c, Keys: *keys, Zipf: *zipf,
+		Seed: *seed, Tenant: *tenant, Timeout: *timeout}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpfload:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "hpfload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printReport(os.Stdout, rep)
+}
+
+type loadConfig struct {
+	Addr    string
+	N       int64
+	C       int
+	Keys    int
+	Zipf    float64
+	Seed    int64
+	Tenant  string
+	Timeout time.Duration
+}
+
+// ReportSchema tags the machine-readable load report.
+const ReportSchema = "hpfload/v1"
+
+// serverDelta is what the server-side counters moved by during the run,
+// scraped from /metrics. Compiles is the number of plans actually
+// built; Coalesced counts herd waiters that reused an in-flight build —
+// the coalescing win hpfload exists to measure.
+type serverDelta struct {
+	Compiles  int64 `json:"compiles"`
+	Coalesced int64 `json:"coalesced"`
+	Hits      int64 `json:"hits"`
+	Scraped   bool  `json:"scraped"` // false when /metrics lacked the plan-cache gauges
+}
+
+type report struct {
+	Schema     string  `json:"schema"`
+	Addr       string  `json:"addr"`
+	Requests   int64   `json:"requests"`
+	Workers    int     `json:"workers"`
+	Keys       int     `json:"keys"`
+	Zipf       float64 `json:"zipf"`
+	Seed       int64   `json:"seed"`
+	OK         int64   `json:"ok"`
+	Throttled  int64   `json:"throttled_429"`
+	Failed     int64   `json:"failed"`
+	DurationNs int64   `json:"duration_ns"`
+	Throughput float64 `json:"requests_per_second"`
+	P50Ns      int64   `json:"p50_ns"`
+	P90Ns      int64   `json:"p90_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	MaxNs      int64   `json:"max_ns"`
+
+	Server serverDelta `json:"server"`
+	// CoalescingEffectiveness is Coalesced / (Coalesced + Compiles): the
+	// fraction of cold-path requests that rode an existing build instead
+	// of compiling. 0 when the server exposed no counters or stayed warm.
+	CoalescingEffectiveness float64 `json:"coalescing_effectiveness"`
+}
+
+// makeKeys synthesizes the working set: distinct (k, l, s) variations
+// over a 4096-element array on 4 processors, index i always mapping to
+// the same key so runs are comparable across processes.
+func makeKeys(n int) []serve.PlanRequest {
+	keys := make([]serve.PlanRequest, n)
+	for i := range keys {
+		keys[i] = serve.PlanRequest{
+			P: 4,
+			K: 8 + int64(i%8)*4,
+			L: int64(i / 1000),
+			U: 4095,
+			S: 3 + 2*int64(i%1000),
+			N: 4096,
+		}
+	}
+	return keys
+}
+
+func runLoad(cfg loadConfig) (*report, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("-addr is required (the hpfd instance to load)")
+	}
+	if cfg.N < 1 || cfg.C < 1 || cfg.Keys < 1 {
+		return nil, fmt.Errorf("-n, -c and -keys must all be >= 1")
+	}
+	base := cfg.Addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	before, err := scrapeCounters(client, base)
+	if err != nil {
+		return nil, fmt.Errorf("server not reachable: %w", err)
+	}
+
+	keys := makeKeys(cfg.Keys)
+	bodies := make([][]byte, len(keys))
+	for i, k := range keys {
+		b, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	var (
+		latency   telemetry.Histogram
+		ok        atomic.Int64
+		throttled atomic.Int64
+		failed    atomic.Int64
+		next      atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.C; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns a seeded source: rand.Zipf is not safe for
+			// concurrent use, and per-worker seeding keeps runs reproducible
+			// for a fixed (seed, c).
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			var z *rand.Zipf
+			if cfg.Zipf > 1 && cfg.Keys > 1 {
+				z = rand.NewZipf(r, cfg.Zipf, 1, uint64(cfg.Keys-1))
+			}
+			for next.Add(1) <= cfg.N {
+				var i int
+				if z != nil {
+					i = int(z.Uint64())
+				} else {
+					i = r.Intn(cfg.Keys)
+				}
+				t0 := time.Now()
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/plan",
+					strings.NewReader(string(bodies[i])))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if cfg.Tenant != "" {
+					req.Header.Set("X-Tenant", cfg.Tenant)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				latency.Observe(time.Since(t0).Nanoseconds())
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ok.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					throttled.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeCounters(client, base)
+	if err != nil {
+		return nil, fmt.Errorf("post-run scrape failed: %w", err)
+	}
+	rep := &report{
+		Schema:     ReportSchema,
+		Addr:       cfg.Addr,
+		Requests:   cfg.N,
+		Workers:    cfg.C,
+		Keys:       cfg.Keys,
+		Zipf:       cfg.Zipf,
+		Seed:       cfg.Seed,
+		OK:         ok.Load(),
+		Throttled:  throttled.Load(),
+		Failed:     failed.Load(),
+		DurationNs: elapsed.Nanoseconds(),
+		Throughput: float64(cfg.N) / elapsed.Seconds(),
+		P50Ns:      latency.Quantile(0.50),
+		P90Ns:      latency.Quantile(0.90),
+		P99Ns:      latency.Quantile(0.99),
+		MaxNs:      latency.Max(),
+	}
+	rep.Server = serverDelta{
+		Compiles:  after.misses - before.misses,
+		Coalesced: after.coalesced - before.coalesced,
+		Hits:      after.hits - before.hits,
+		Scraped:   before.scraped && after.scraped,
+	}
+	if cold := rep.Server.Coalesced + rep.Server.Compiles; cold > 0 {
+		rep.CoalescingEffectiveness = float64(rep.Server.Coalesced) / float64(cold)
+	}
+	return rep, nil
+}
+
+// counters is the subset of the server's Prometheus exposition hpfload
+// cares about: the plan cache's gauges as registered by cmd/hpfd under
+// plancache.hpfd.plans.*.
+type counters struct {
+	misses, coalesced, hits int64
+	scraped                 bool
+}
+
+func scrapeCounters(client *http.Client, base string) (counters, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return counters{}, err
+	}
+	defer resp.Body.Close()
+	var c counters
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, found := strings.Cut(line, " ")
+		if !found {
+			continue
+		}
+		var dst *int64
+		switch name {
+		case "plancache_hpfd_plans_misses":
+			dst = &c.misses
+		case "plancache_hpfd_plans_coalesced":
+			dst = &c.coalesced
+		case "plancache_hpfd_plans_hits":
+			dst = &c.hits
+		default:
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err != nil {
+			continue
+		}
+		*dst = int64(v)
+		c.scraped = true
+	}
+	return c, sc.Err()
+}
+
+func printReport(w *os.File, rep *report) {
+	fmt.Fprintf(w, "hpfload: %d requests, %d workers, %d keys (zipf s=%g, seed %d) against %s\n",
+		rep.Requests, rep.Workers, rep.Keys, rep.Zipf, rep.Seed, rep.Addr)
+	fmt.Fprintf(w, "  outcome      %d ok, %d throttled (429), %d failed in %v (%.0f req/s)\n",
+		rep.OK, rep.Throttled, rep.Failed, time.Duration(rep.DurationNs).Round(time.Millisecond), rep.Throughput)
+	fmt.Fprintf(w, "  latency      p50 %v  p90 %v  p99 %v  max %v\n",
+		time.Duration(rep.P50Ns), time.Duration(rep.P90Ns), time.Duration(rep.P99Ns), time.Duration(rep.MaxNs))
+	if rep.Server.Scraped {
+		fmt.Fprintf(w, "  server       %d compiles, %d coalesced waiters, %d cache hits\n",
+			rep.Server.Compiles, rep.Server.Coalesced, rep.Server.Hits)
+		fmt.Fprintf(w, "  coalescing   %.1f%% of cold-path requests rode an in-flight compile\n",
+			100*rep.CoalescingEffectiveness)
+	} else {
+		fmt.Fprintf(w, "  server       (no plancache_hpfd_plans_* gauges on /metrics; is this hpfd?)\n")
+	}
+}

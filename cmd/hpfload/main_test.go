@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// newHpfd stands up an in-process hpfd (the serve handler with the
+// plan-cache gauges registered, exactly as cmd/hpfd configures it) and
+// returns its base address.
+func newHpfd(t *testing.T, cfg serve.Config) (string, *serve.Server) {
+	t.Helper()
+	cfg.MetricsName = "hpfd.plans"
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return strings.TrimPrefix(ts.URL, "http://"), srv
+}
+
+// TestLoadAgainstColdServer runs a small burst at a cold instance and
+// checks the report: everything answered, latency percentiles ordered,
+// and the server-side counter deltas scraped from /metrics.
+func TestLoadAgainstColdServer(t *testing.T) {
+	addr, srv := newHpfd(t, serve.Config{})
+	rep, err := runLoad(loadConfig{
+		Addr: addr, N: 200, C: 8, Keys: 16, Zipf: 1.2, Seed: 7,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.OK != 200 || rep.Throttled != 0 || rep.Failed != 0 {
+		t.Fatalf("outcome = %d ok / %d throttled / %d failed, want 200/0/0",
+			rep.OK, rep.Throttled, rep.Failed)
+	}
+	if rep.P50Ns <= 0 || rep.P50Ns > rep.P99Ns || rep.MaxNs < rep.P50Ns {
+		t.Errorf("latency percentiles inconsistent: p50 %d p99 %d max %d",
+			rep.P50Ns, rep.P99Ns, rep.MaxNs)
+	}
+	if !rep.Server.Scraped {
+		t.Fatal("report did not scrape the plan-cache gauges from /metrics")
+	}
+	if rep.Server.Compiles < 1 || rep.Server.Compiles > 16 {
+		t.Errorf("server compiled %d plans for a 16-key working set", rep.Server.Compiles)
+	}
+	st := srv.Stats()
+	if rep.Server.Compiles != st.Misses || rep.Server.Coalesced != st.Coalesced {
+		t.Errorf("scraped deltas (%d compiles, %d coalesced) disagree with server stats %+v",
+			rep.Server.Compiles, rep.Server.Coalesced, st)
+	}
+}
+
+// TestSingleColdKeyCompilesOnce: a concurrent burst at one cold key is
+// the acceptance shape — exactly one compile regardless of worker
+// count, everyone else a hit or a coalesced waiter.
+func TestSingleColdKeyCompilesOnce(t *testing.T) {
+	addr, srv := newHpfd(t, serve.Config{})
+	rep, err := runLoad(loadConfig{
+		Addr: addr, N: 64, C: 32, Keys: 1, Zipf: 0, Seed: 1,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 64 {
+		t.Fatalf("ok = %d, want 64 (%d throttled, %d failed)", rep.OK, rep.Throttled, rep.Failed)
+	}
+	if rep.Server.Compiles != 1 {
+		t.Errorf("single cold key compiled %d times, want exactly 1", rep.Server.Compiles)
+	}
+	st := srv.Stats()
+	if st.Hits+st.Coalesced != 63 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want 63", st.Hits, st.Coalesced, st.Hits+st.Coalesced)
+	}
+	if rep.CoalescingEffectiveness < 0 || rep.CoalescingEffectiveness > 1 {
+		t.Errorf("coalescing effectiveness %f out of range", rep.CoalescingEffectiveness)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := runLoad(loadConfig{}); err == nil {
+		t.Error("runLoad accepted an empty address")
+	}
+	if _, err := runLoad(loadConfig{Addr: "127.0.0.1:1", N: 0, C: 1, Keys: 1}); err == nil {
+		t.Error("runLoad accepted n = 0")
+	}
+	// Unreachable server: fail fast on the pre-run scrape.
+	if _, err := runLoad(loadConfig{Addr: "127.0.0.1:1", N: 1, C: 1, Keys: 1,
+		Timeout: time.Second}); err == nil {
+		t.Error("runLoad succeeded against an unreachable server")
+	}
+}
+
+// TestMakeKeysDistinct: the working set must be n genuinely distinct
+// cache keys, or -keys lies about the cache pressure it creates.
+func TestMakeKeysDistinct(t *testing.T) {
+	keys := makeKeys(512)
+	seen := make(map[serve.PlanRequest]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %+v", k)
+		}
+		seen[k] = true
+	}
+}

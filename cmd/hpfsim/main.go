@@ -108,13 +108,22 @@ func runConfig(cfg config) error {
 		}
 		traceFile = f
 	}
+	// The pprof listener binds synchronously, like -http below: a bad
+	// address fails the run up front with an error naming the flag (and
+	// ":0" works, with the bound address printed), instead of a goroutine
+	// complaining to stderr after the run has started.
 	if cfg.PprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "hpfsim: pprof:", err)
+		ln, err := net.Listen("tcp", cfg.PprofAddr)
+		if err != nil {
+			if traceFile != nil {
+				traceFile.Close()
+				os.Remove(cfg.TracePath)
 			}
-		}()
-		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", cfg.PprofAddr)
+			return fmt.Errorf("cannot serve on -pprof address: %w", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, nil)
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
 	}
 	// The live endpoints bind through net.Listen so ":0" works (the
 	// bound address is printed); the run is traced whenever anything can

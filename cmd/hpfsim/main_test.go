@@ -221,3 +221,28 @@ func TestUnwritableTracePath(t *testing.T) {
 		t.Errorf("error %q should name the -trace flag", err)
 	}
 }
+
+// TestBadPprofAddrFailsFast: the -pprof listener must bind before the
+// workload runs, so an unusable address is a startup error naming the
+// flag — not an async complaint after the machine started.
+func TestBadPprofAddrFailsFast(t *testing.T) {
+	err := runConfig(config{P: 2, K: 4, K2: 3, N: 64, NoCheck: true,
+		PprofAddr: "256.256.256.256:1"})
+	if err == nil {
+		t.Fatal("unusable -pprof address should fail the run")
+	}
+	if !strings.Contains(err.Error(), "-pprof") {
+		t.Errorf("error %q should name the -pprof flag", err)
+	}
+}
+
+// TestPprofAnyPort: ":0" now works for -pprof because the listener
+// binds synchronously (the old ListenAndServe goroutine could not
+// report its bound port at all).
+func TestPprofAnyPort(t *testing.T) {
+	err := runConfig(config{P: 2, K: 4, K2: 3, N: 64, NoCheck: true,
+		PprofAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Service benchmarks: the thundering-herd behavior of the hpfd plan
+// service. Each round aims a herd of concurrent clients at one cold key
+// and measures client-observed latency, once with request coalescing
+// (the shipping configuration: concurrent misses ride one compilation)
+// and once with the pre-singleflight baseline where every miss compiles
+// independently. The warm phase re-fires the same herd at the now-cached
+// key as the floor the cold numbers should be judged against.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plancache"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// ServeBenchResult is one mode's herd measurement.
+type ServeBenchResult struct {
+	Mode      string // "coalesced" or "no-coalesce"
+	Herd      int    // concurrent clients per round
+	Rounds    int    // distinct cold keys
+	Builds    int64  // plan compilations actually run (cache misses)
+	Coalesced int64  // herd waiters that rode an in-flight compilation
+	OK        int64
+	Failed    int64
+	ColdP50Ns int64 // client latency over the cold-key herds
+	ColdP99Ns int64
+	WarmP50Ns int64 // client latency once the key is cached
+	WarmP99Ns int64
+}
+
+// serveBenchKey returns the round's plan key: heavyweight enough
+// (64 ranks × cyclic(4096) over a 2^23 array) that one compilation
+// outlasts a scheduler quantum — so the herd genuinely overlaps the
+// build even on a single-CPU host — with the stride varied per round so
+// every round's key is cold in both the service cache and the
+// process-wide table cache.
+func serveBenchKey(round int) serve.PlanRequest {
+	return serve.PlanRequest{
+		P: 64,
+		K: 4096,
+		L: 1,
+		U: 1<<23 - 1,
+		S: 3 + 2*int64(round),
+		N: 1 << 23,
+	}
+}
+
+// fireHerd launches herd concurrent POSTs of body at the service,
+// recording per-request client latency; all requests are released
+// together so a cold key sees a genuine thundering herd.
+func fireHerd(client *http.Client, url string, body []byte, herd int,
+	lat *telemetry.Histogram, ok, failed *atomic.Int64) {
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			t0 := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat.Observe(time.Since(t0).Nanoseconds())
+			if resp.StatusCode == http.StatusOK {
+				ok.Add(1)
+			} else {
+				failed.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+}
+
+// ServeBench measures the cold-key herd in both modes: herd concurrent
+// clients, rounds distinct cold keys per mode. MaxInflight is raised to
+// herd so the no-coalesce baseline pays the full cost of its duplicate
+// compilations instead of shedding them with 429s.
+func ServeBench(herd, rounds int) ([]ServeBenchResult, error) {
+	if herd < 2 {
+		herd = 64
+	}
+	if rounds < 1 {
+		rounds = 3
+	}
+	modes := []struct {
+		name       string
+		noCoalesce bool
+	}{
+		{"coalesced", false},
+		{"no-coalesce", true},
+	}
+	var out []ServeBenchResult
+	for _, mode := range modes {
+		// Both modes start from identical global state: the shared AM-table
+		// cache warm from a previous mode would flatter whichever runs second.
+		plancache.ResetTables()
+		srv, err := serve.New(serve.Config{MaxInflight: herd, NoCoalesce: mode.noCoalesce})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		url := "http://" + ln.Addr().String() + "/v1/plan"
+		client := &http.Client{
+			Timeout:   2 * time.Minute,
+			Transport: &http.Transport{MaxIdleConnsPerHost: herd},
+		}
+
+		var cold, warm telemetry.Histogram
+		var ok, failed atomic.Int64
+		for round := 0; round < rounds; round++ {
+			body, err := json.Marshal(serveBenchKey(round))
+			if err != nil {
+				hs.Close()
+				srv.Close()
+				return nil, err
+			}
+			fireHerd(client, url, body, herd, &cold, &ok, &failed)
+			fireHerd(client, url, body, herd, &warm, &ok, &failed)
+		}
+		st := srv.Stats()
+		hs.Close()
+		srv.Close()
+		res := ServeBenchResult{
+			Mode:      mode.name,
+			Herd:      herd,
+			Rounds:    rounds,
+			Builds:    st.Misses,
+			Coalesced: st.Coalesced,
+			OK:        ok.Load(),
+			Failed:    failed.Load(),
+			ColdP50Ns: cold.Quantile(0.50),
+			ColdP99Ns: cold.Quantile(0.99),
+			WarmP50Ns: warm.Quantile(0.50),
+			WarmP99Ns: warm.Quantile(0.99),
+		}
+		if res.Failed > 0 {
+			return nil, fmt.Errorf("bench: serve %s mode: %d of %d requests failed",
+				mode.name, res.Failed, res.OK+res.Failed)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatServeBench renders the herd comparison.
+func FormatServeBench(results []ServeBenchResult) string {
+	var b strings.Builder
+	if len(results) > 0 {
+		b.WriteString(fmt.Sprintf(
+			"hpfd plan service: %d-client herd on a cold key, %d rounds per mode\n",
+			results[0].Herd, results[0].Rounds))
+	}
+	b.WriteString(fmt.Sprintf("%-14s%9s%11s%14s%14s%14s\n",
+		"mode", "builds", "coalesced", "cold p50", "cold p99", "warm p50"))
+	for _, r := range results {
+		b.WriteString(fmt.Sprintf("%-14s%9d%11d%14v%14v%14v\n",
+			r.Mode, r.Builds, r.Coalesced,
+			time.Duration(r.ColdP50Ns).Round(time.Microsecond),
+			time.Duration(r.ColdP99Ns).Round(time.Microsecond),
+			time.Duration(r.WarmP50Ns).Round(time.Microsecond)))
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeBenchSmall runs a reduced herd through both modes and checks
+// the structural invariants: the coalesced mode compiles each cold key
+// exactly once with the rest of the herd coalescing, the baseline
+// compiles at least as often, and nobody fails.
+func TestServeBenchSmall(t *testing.T) {
+	const herd, rounds = 8, 1
+	results, err := ServeBench(herd, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 modes", len(results))
+	}
+	byMode := map[string]ServeBenchResult{}
+	for _, r := range results {
+		byMode[r.Mode] = r
+		if r.Failed != 0 {
+			t.Errorf("%s: %d failed requests", r.Mode, r.Failed)
+		}
+		if want := int64(2 * herd * rounds); r.OK != want {
+			t.Errorf("%s: %d ok, want %d", r.Mode, r.OK, want)
+		}
+		if r.ColdP50Ns <= 0 || r.ColdP99Ns < r.ColdP50Ns {
+			t.Errorf("%s: cold percentiles inconsistent: p50 %d p99 %d",
+				r.Mode, r.ColdP50Ns, r.ColdP99Ns)
+		}
+	}
+	co, ok := byMode["coalesced"]
+	if !ok {
+		t.Fatal("no coalesced result")
+	}
+	base, ok := byMode["no-coalesce"]
+	if !ok {
+		t.Fatal("no no-coalesce result")
+	}
+	if co.Builds != rounds {
+		t.Errorf("coalesced mode ran %d builds for %d cold keys, want exactly one each",
+			co.Builds, rounds)
+	}
+	if co.Coalesced+co.Builds+co.OK == 0 || co.Coalesced < 0 {
+		t.Errorf("coalesced counter bogus: %+v", co)
+	}
+	if base.Coalesced != 0 {
+		t.Errorf("baseline mode coalesced %d waiters; the whole point is that it cannot", base.Coalesced)
+	}
+	if base.Builds < co.Builds {
+		t.Errorf("baseline built %d plans, coalesced built %d — baseline can never build fewer",
+			base.Builds, co.Builds)
+	}
+}
+
+func TestFormatServeBench(t *testing.T) {
+	out := FormatServeBench([]ServeBenchResult{
+		{Mode: "coalesced", Herd: 64, Rounds: 3, Builds: 3, Coalesced: 189,
+			ColdP50Ns: 1e6, ColdP99Ns: 2e6, WarmP50Ns: 1e5},
+		{Mode: "no-coalesce", Herd: 64, Rounds: 3, Builds: 192,
+			ColdP50Ns: 5e6, ColdP99Ns: 9e6, WarmP50Ns: 1e5},
+	})
+	for _, want := range []string{"coalesced", "no-coalesce", "cold p99", "64-client herd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format output missing %q:\n%s", want, out)
+		}
+	}
+}

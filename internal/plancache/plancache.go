@@ -17,8 +17,10 @@
 // plans in internal/hpf, communication plans in internal/comm) supplies
 // its own key type and hash. Shards are independent mutex-protected LRU
 // lists, so concurrent SPMD processors touching different patterns do
-// not contend; hit, miss and eviction counters make the amortization
-// observable (examples and benchtables report them).
+// not contend; concurrent misses on one key are coalesced onto a single
+// build (GetOrCompute); hit, miss, eviction and coalesced-waiter
+// counters make the amortization observable (examples, benchtables and
+// the hpfd plan service report them).
 package plancache
 
 import (
@@ -35,9 +37,17 @@ import (
 const numShards = 8
 
 // Stats is a point-in-time snapshot of a cache's counters.
+//
+// Misses counts builds actually started: with GetOrCompute's request
+// coalescing, a thundering herd of n concurrent misses on one cold key
+// records exactly one miss (the build) and n−1 Coalesced waiters, so
+// Misses equals the number of build invocations.
 type Stats struct {
 	Hits, Misses, Evictions int64
 	Entries                 int64
+	// Coalesced counts GetOrCompute callers that joined an in-flight
+	// build of their key instead of running build themselves.
+	Coalesced int64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -68,11 +78,24 @@ type shard[K comparable, V any] struct {
 	entries    map[K]*node[K, V]
 	head, tail *node[K, V]
 
+	// inflight tracks keys whose build is currently running, so
+	// GetOrCompute coalesces concurrent misses onto one build.
+	inflight map[K]*flight[V]
+
 	// Counters are atomics so Stats and Snapshot read them without the
 	// shard mutex: no torn reads under the race detector, and snapshots
 	// never contend with the lookup path.
 	hits, misses, evictions atomic.Int64
+	coalesced               atomic.Int64
 	entryCount              atomic.Int64
+}
+
+// flight is one in-progress build. done is closed exactly once, after
+// val/err are final; waiters block on it and then read both fields.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
 }
 
 // New returns a cache holding at most capacity entries in total,
@@ -88,6 +111,7 @@ func New[K comparable, V any](capacity int, hash func(K) uint64) *Cache[K, V] {
 	for i := range c.shards {
 		c.shards[i].capacity = perShard
 		c.shards[i].entries = make(map[K]*node[K, V])
+		c.shards[i].inflight = make(map[K]*flight[V])
 	}
 	return c
 }
@@ -121,21 +145,57 @@ func (c *Cache[K, V]) Put(k K, v V) {
 }
 
 // GetOrCompute returns the cached value for k, computing and inserting
-// it via build on a miss. A build error is returned without caching.
-// Concurrent misses on the same key may each run build; every returned
-// value is valid (build must be deterministic), and exactly one ends up
-// cached. The miss is counted once per build.
+// it via build on a miss. Concurrent misses on the same key are
+// coalesced: exactly one caller runs build (counted as the single miss)
+// while the others wait on the in-flight result and are counted as
+// Coalesced, so a thundering herd on a cold key performs one
+// construction. A build error propagates to every coalesced waiter and
+// is never cached — the next GetOrCompute after a failure retries the
+// build. A panic in build is converted to an error for the waiters and
+// re-raised in the building goroutine.
 func (c *Cache[K, V]) GetOrCompute(k K, build func() (V, error)) (V, error) {
-	if v, ok := c.Get(k); ok {
+	s := c.shard(k)
+	s.mu.Lock()
+	if n, ok := s.entries[k]; ok {
+		s.hits.Add(1)
+		s.touch(n)
+		v := n.val
+		s.mu.Unlock()
 		return v, nil
 	}
-	v, err := build()
-	if err != nil {
-		var zero V
-		return zero, err
+	if f, ok := s.inflight[k]; ok {
+		s.coalesced.Add(1)
+		s.mu.Unlock()
+		<-f.done
+		return f.val, f.err
 	}
-	c.Put(k, v)
-	return v, nil
+	f := &flight[V]{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.misses.Add(1)
+	s.mu.Unlock()
+
+	defer func() {
+		r := recover()
+		s.mu.Lock()
+		// The shard may have been Reset while the build ran; delete by
+		// identity so a successor flight for the same key survives.
+		if s.inflight[k] == f {
+			delete(s.inflight, k)
+		}
+		if r == nil && f.err == nil {
+			s.put(k, f.val)
+		}
+		s.mu.Unlock()
+		if r != nil {
+			f.err = fmt.Errorf("plancache: build for key %v panicked: %v", k, r)
+		}
+		close(f.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
+	f.val, f.err = build()
+	return f.val, f.err
 }
 
 // Len returns the current number of cached entries.
@@ -161,6 +221,7 @@ func (c *Cache[K, V]) Stats() Stats {
 		st.Misses += s.misses.Load()
 		st.Evictions += s.evictions.Load()
 		st.Entries += s.entryCount.Load()
+		st.Coalesced += s.coalesced.Load()
 	}
 	return st
 }
@@ -176,6 +237,7 @@ func (c *Cache[K, V]) Snapshot() []Stats {
 			Misses:    s.misses.Load(),
 			Evictions: s.evictions.Load(),
 			Entries:   s.entryCount.Load(),
+			Coalesced: s.coalesced.Load(),
 		}
 	}
 	return out
@@ -196,6 +258,7 @@ func (c *Cache[K, V]) Register(name string) error {
 		"misses":    func() int64 { return c.Stats().Misses },
 		"evictions": func() int64 { return c.Stats().Evictions },
 		"entries":   func() int64 { return c.Stats().Entries },
+		"coalesced": func() int64 { return c.Stats().Coalesced },
 	} {
 		if err := r.RegisterGaugeFunc(prefix+suffix, f); err != nil {
 			return fmt.Errorf("plancache: register %q: %w", name, err)
@@ -214,6 +277,7 @@ func (c *Cache[K, V]) Reset() {
 		s.hits.Store(0)
 		s.misses.Store(0)
 		s.evictions.Store(0)
+		s.coalesced.Store(0)
 		s.entryCount.Store(0)
 		s.mu.Unlock()
 	}

@@ -3,8 +3,12 @@ package plancache
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -74,6 +78,144 @@ func TestCapacityBound(t *testing.T) {
 	}
 }
 
+// TestGetOrComputeHerd is the thundering-herd regression test: 64
+// goroutines miss one cold key simultaneously, and the build must run
+// exactly once — the other 63 coalesce onto the in-flight build. The
+// stats must agree: one miss, 63 coalesced waiters, zero or more hits
+// (a goroutine arriving after the build completes scores a hit).
+func TestGetOrComputeHerd(t *testing.T) {
+	c := New[int64, int64](64, intHash)
+	const herd = 64
+	var builds atomic.Int64
+	// The build blocks until all herd-1 waiters have coalesced onto it
+	// (Coalesced reads atomics, so polling from inside build is safe),
+	// making the assertion below deterministic rather than timing-based.
+	build := func() (int64, error) {
+		builds.Add(1)
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Stats().Coalesced < herd-1 {
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("waiters never coalesced: %+v", c.Stats())
+			}
+			runtime.Gosched()
+		}
+		return 42, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrCompute(9, build)
+			if err != nil || v != 42 {
+				t.Errorf("GetOrCompute = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times under a %d-goroutine herd, want exactly 1", n, herd)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 per build", st.Misses)
+	}
+	if st.Coalesced != herd-1 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want %d coalesced waiters and 0 hits", st, herd-1)
+	}
+}
+
+// TestGetOrComputeErrorPropagates: a failed build reaches every
+// coalesced waiter, nothing is cached, and a later call retries.
+func TestGetOrComputeErrorPropagates(t *testing.T) {
+	c := New[int64, int64](64, intHash)
+	const herd = 16
+	wantErr := fmt.Errorf("boom")
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.GetOrCompute(3, func() (int64, error) {
+				builds.Add(1)
+				deadline := time.Now().Add(10 * time.Second)
+				for c.Stats().Coalesced < herd-1 {
+					if time.Now().After(deadline) {
+						return 0, fmt.Errorf("waiters never coalesced: %+v", c.Stats())
+					}
+					runtime.Gosched()
+				}
+				return 0, wantErr
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+	for i, err := range errs {
+		if err != wantErr {
+			t.Errorf("goroutine %d got err %v, want %v", i, err, wantErr)
+		}
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("failed build was cached")
+	}
+	// The failure is not sticky: the next call retries the build.
+	v, err := c.GetOrCompute(3, func() (int64, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after failure = %d, %v", v, err)
+	}
+}
+
+// TestGetOrComputePanicPropagates: a panicking build re-raises in the
+// building goroutine and surfaces as an error (not a hang, not a zero
+// value with nil error) for every coalesced waiter.
+func TestGetOrComputePanicPropagates(t *testing.T) {
+	c := New[int64, int64](64, intHash)
+	// entered closes once the panicking build is running, so the waiter
+	// below can only ever coalesce onto it (never become the builder).
+	entered := make(chan struct{})
+	waited := make(chan error, 1)
+	go func() {
+		<-entered
+		_, err := c.GetOrCompute(5, func() (int64, error) { return 11, nil })
+		waited <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the building caller")
+			}
+		}()
+		c.GetOrCompute(5, func() (int64, error) {
+			close(entered)
+			deadline := time.Now().Add(10 * time.Second)
+			for c.Stats().Coalesced < 1 { // hold the flight until the waiter joins
+				if time.Now().After(deadline) {
+					t.Error("waiter never coalesced")
+					break
+				}
+				runtime.Gosched()
+			}
+			panic("kaboom")
+		})
+	}()
+	select {
+	case err := <-waited:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("coalesced waiter error = %v, want one mentioning the panic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalesced waiter hung after the build panicked")
+	}
+	if _, ok := c.Get(5); ok {
+		t.Fatal("panicked build was cached")
+	}
+}
+
 func TestGetOrCompute(t *testing.T) {
 	c := New[int64, int64](64, intHash)
 	calls := 0
@@ -134,6 +276,7 @@ func TestSnapshotPerShard(t *testing.T) {
 		sum.Misses += s.Misses
 		sum.Evictions += s.Evictions
 		sum.Entries += s.Entries
+		sum.Coalesced += s.Coalesced
 	}
 	if got := c.Stats(); sum != got {
 		t.Errorf("per-shard sum %+v != aggregate %+v", sum, got)
@@ -143,11 +286,17 @@ func TestSnapshotPerShard(t *testing.T) {
 	}
 }
 
-// TestSnapshotConcurrent reads Snapshot while writers hammer the cache;
-// under -race this proves the counters are read atomically (no torn
-// reads through the old int fields).
+// TestSnapshotConcurrent reads Snapshot while writers hammer the cache
+// (Put, Get and coalescing GetOrCompute); under -race this proves the
+// counters are read atomically, and the concurrent assertions pin the
+// invariants that must hold even mid-herd: counters never go negative,
+// and no shard ever reports more entries than its capacity. At
+// quiescence the aggregate Entries must equal Len() exactly — the herd
+// no longer inflates the miss/entry accounting.
 func TestSnapshotConcurrent(t *testing.T) {
-	c := New[int64, int64](16, intHash)
+	const capacity = 16
+	c := New[int64, int64](capacity, intHash)
+	perShard := (capacity + numShards - 1) / numShards
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -159,6 +308,11 @@ func TestSnapshotConcurrent(t *testing.T) {
 				k := r.Int63n(64)
 				c.Put(k, k)
 				c.Get(r.Int63n(64))
+				k2 := r.Int63n(64)
+				if v, err := c.GetOrCompute(k2, func() (int64, error) { return k2, nil }); err != nil || v != k2 {
+					t.Errorf("GetOrCompute(%d) = %d, %v", k2, v, err)
+					return
+				}
 			}
 		}(int64(w))
 	}
@@ -168,9 +322,13 @@ func TestSnapshotConcurrent(t *testing.T) {
 			case <-done:
 				return
 			default:
-				for _, s := range c.Snapshot() {
-					if s.Hits < 0 || s.Misses < 0 || s.Entries < 0 {
+				for i, s := range c.Snapshot() {
+					if s.Hits < 0 || s.Misses < 0 || s.Entries < 0 || s.Coalesced < 0 {
 						t.Error("negative counter in snapshot")
+						return
+					}
+					if s.Entries > int64(perShard) {
+						t.Errorf("shard %d reports %d entries, capacity %d", i, s.Entries, perShard)
 						return
 					}
 				}
@@ -179,6 +337,9 @@ func TestSnapshotConcurrent(t *testing.T) {
 	}()
 	wg.Wait()
 	close(done)
+	if st := c.Stats(); st.Entries != int64(c.Len()) {
+		t.Errorf("quiescent Entries %d != Len %d", st.Entries, c.Len())
+	}
 }
 
 // TestConcurrentTinyCapacity hammers a tiny cache from many goroutines
@@ -243,7 +404,7 @@ func TestRegisterDuplicateName(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() {
-		for _, suffix := range []string{"hits", "misses", "evictions", "entries"} {
+		for _, suffix := range []string{"hits", "misses", "evictions", "entries", "coalesced"} {
 			telemetry.Default().UnregisterGaugeFunc("plancache.dup.test." + suffix)
 		}
 	}()

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotas is a per-tenant token-bucket registry. Each tenant (the
+// X-Tenant request header; empty maps to "default") refills at rate
+// tokens/second up to burst. Buckets are created on first use and the
+// registry is bounded: once maxTenants distinct tenants exist, unknown
+// tenants share the "overflow" bucket rather than growing the map
+// without limit — a quota table must not itself be a memory-exhaustion
+// vector.
+type quotas struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+const (
+	defaultTenant  = "default"
+	overflowTenant = "overflow"
+	maxTenants     = 4096
+)
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuotas returns a registry allowing rate requests/second with the
+// given burst per tenant. rate <= 0 disables quota enforcement.
+func newQuotas(rate, burst float64) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow consumes one token from tenant's bucket. When the bucket is
+// empty it reports false and the duration after which one token will
+// have refilled — the Retry-After the handler returns with the 429.
+func (q *quotas) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if q == nil || q.rate <= 0 {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		if len(q.buckets) >= maxTenants {
+			tenant = overflowTenant
+			b = q.buckets[tenant]
+		}
+		if b == nil {
+			b = &bucket{tokens: q.burst, last: q.now()}
+			q.buckets[tenant] = b
+		}
+	}
+	now := q.now()
+	b.tokens = math.Min(q.burst, b.tokens+now.Sub(b.last).Seconds()*q.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(math.Ceil(deficit / q.rate * float64(time.Second)))
+}
