@@ -6,11 +6,20 @@
 // compilation, and serve warm keys straight from its LRU.
 //
 //	hpfd                              # serve on localhost:8080
-//	hpfd -addr :0                     # any free port (the bound address is printed)
+//	hpfd -addr :0                     # any free port (the bound address is logged)
 //	hpfd -tenant-qps 50 -tenant-burst 20   # per-tenant token buckets (X-Tenant header)
 //	hpfd -max-inflight 16             # bound concurrent compiles; overflow gets 429
 //	hpfd -drain 30s                   # graceful-shutdown budget on SIGINT/SIGTERM
 //	hpfd -pprof localhost:6060        # serve net/http/pprof alongside
+//	hpfd -log-format json             # structured JSON logs (access log + lifecycle)
+//	hpfd -slo-target 50ms             # publish hpfd.slo.* burn-rate gauges
+//	hpfd -trace-events 0              # disable the request-span ring tracer
+//
+// Every request gets a W3C trace identity: an inbound traceparent is
+// joined, X-Request-ID is echoed or minted, and with tracing on the
+// whole request path (admission, singleflight build/wait, table build,
+// kernel selection) is recorded as spans — dump /trace and feed it to
+// hpfprof -serve for per-phase attribution.
 //
 // Endpoints:
 //
@@ -24,6 +33,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -33,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -46,18 +58,34 @@ func main() {
 		noCoalesce  = flag.Bool("no-coalesce", false, "serve every cold miss with its own compilation (benchmark baseline; never use in production)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget: in-flight requests get this long to finish")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		logFormat   = flag.String("log-format", "text", "log output format: json or text")
+		sloTarget   = flag.Duration("slo-target", 0, "request latency budget; > 0 publishes hpfd.slo.* burn-rate gauges")
+		traceEvents = flag.Int("trace-events", 1<<14, "request-span ring-tracer capacity in events; 0 disables tracing")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris protection)")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+		maxHeaderBytes    = flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
 	)
 	flag.Parse()
 	cfg := config{
-		Addr:        *addr,
-		Cache:       *cache,
-		MaxInflight: *maxInflight,
-		TenantQPS:   *tenantQPS,
-		TenantBurst: *tenantBurst,
-		MaxBatch:    *maxBatch,
-		NoCoalesce:  *noCoalesce,
-		Drain:       *drain,
-		PprofAddr:   *pprofAddr,
+		Addr:              *addr,
+		Cache:             *cache,
+		MaxInflight:       *maxInflight,
+		TenantQPS:         *tenantQPS,
+		TenantBurst:       *tenantBurst,
+		MaxBatch:          *maxBatch,
+		NoCoalesce:        *noCoalesce,
+		Drain:             *drain,
+		PprofAddr:         *pprofAddr,
+		LogFormat:         *logFormat,
+		SLOTarget:         *sloTarget,
+		TraceEvents:       *traceEvents,
+		TraceDisabled:     *traceEvents <= 0,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
 	}
 	if err := runConfig(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hpfd:", err)
@@ -75,6 +103,20 @@ type config struct {
 	NoCoalesce  bool
 	Drain       time.Duration
 	PprofAddr   string
+	LogFormat   string
+	SLOTarget   time.Duration
+	// TraceEvents is the request-span ring capacity; 0 takes the default
+	// (16384). TraceDisabled turns the tracer off entirely (the CLI maps
+	// -trace-events 0 here, so a zero-valued test config still traces).
+	TraceEvents   int
+	TraceDisabled bool
+
+	// http.Server hardening; zero values take the flag defaults so a
+	// directly constructed config (tests) still gets a hardened server.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	MaxHeaderBytes    int
 
 	// afterStart, when set, is called with the bound listen address once
 	// the server is accepting connections — the hook tests use to drive
@@ -84,13 +126,74 @@ type config struct {
 	// SIGINT/SIGTERM when it becomes readable — so tests can exercise the
 	// drain path without signaling the test process.
 	stop <-chan struct{}
+	// logOut, when set, receives the log stream instead of os.Stdout.
+	logOut io.Writer
+}
+
+func (c config) withDefaults() config {
+	if c.LogFormat == "" {
+		c.LogFormat = "text"
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = 1 << 20
+	}
+	if c.TraceEvents <= 0 {
+		c.TraceEvents = 1 << 14
+	}
+	return c
+}
+
+// newLogger builds the service logger for the -log-format flag value.
+func newLogger(format string, out io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(out, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(out, nil)), nil
+	}
+	return nil, fmt.Errorf("-log-format must be json or text, got %q", format)
+}
+
+// newHTTPServer builds the hardened listener-facing server: header and
+// read deadlines plus a header-size cap so one slow or hostile client
+// cannot pin a connection goroutine forever (slowloris protection).
+func newHTTPServer(cfg config, handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		ReadTimeout:       cfg.ReadTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
+		MaxHeaderBytes:    cfg.MaxHeaderBytes,
+	}
 }
 
 func runConfig(cfg config) error {
+	cfg = cfg.withDefaults()
+	out := cfg.logOut
+	if out == nil {
+		out = os.Stdout
+	}
+	logger, err := newLogger(cfg.LogFormat, out)
+	if err != nil {
+		return err
+	}
+	if !cfg.TraceDisabled {
+		telemetry.StartTracing(0, cfg.TraceEvents)
+		defer telemetry.StopTracing()
+	}
 	// Both listeners bind synchronously so a bad address fails the start
-	// with an error naming the flag — not a goroutine printing to stderr
-	// after the service claimed to be up — and so ":0" addresses can be
-	// reported to the caller.
+	// with an error naming the flag — not a goroutine logging after the
+	// service claimed to be up — and so ":0" addresses can be reported
+	// to the caller.
 	if cfg.PprofAddr != "" {
 		ln, err := net.Listen("tcp", cfg.PprofAddr)
 		if err != nil {
@@ -98,7 +201,7 @@ func runConfig(cfg config) error {
 		}
 		defer ln.Close()
 		go http.Serve(ln, nil)
-		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		logger.Info("pprof", slog.String("addr", ln.Addr().String()))
 	}
 	srv, err := serve.New(serve.Config{
 		CacheCapacity: cfg.Cache,
@@ -108,6 +211,8 @@ func runConfig(cfg config) error {
 		MaxBatch:      cfg.MaxBatch,
 		NoCoalesce:    cfg.NoCoalesce,
 		MetricsName:   "hpfd.plans",
+		Logger:        logger,
+		SLOTarget:     cfg.SLOTarget,
 	})
 	if err != nil {
 		return err
@@ -117,12 +222,24 @@ func runConfig(cfg config) error {
 	if err != nil {
 		return fmt.Errorf("cannot serve on -addr address: %w", err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(cfg, srv.Handler())
 	served := make(chan error, 1)
 	go func() { served <- hs.Serve(ln) }()
-	fmt.Printf("hpfd: serving on http://%s/ (plan: /v1/plan, batch: /v1/plan/batch, ops: /metrics /healthz /trace)\n", ln.Addr())
+	traceEvents := cfg.TraceEvents
+	if cfg.TraceDisabled {
+		traceEvents = 0
+	}
+	logger.Info("listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.String("log_format", cfg.LogFormat),
+		slog.Int("trace_events", traceEvents),
+		slog.Duration("slo_target", cfg.SLOTarget),
+	)
 	if cfg.TenantQPS > 0 {
-		fmt.Printf("hpfd: per-tenant quota %.3g req/s, burst %.3g (X-Tenant header)\n", cfg.TenantQPS, cfg.TenantBurst)
+		logger.Info("quota",
+			slog.Float64("tenant_qps", cfg.TenantQPS),
+			slog.Float64("tenant_burst", cfg.TenantBurst),
+		)
 	}
 	if cfg.afterStart != nil {
 		cfg.afterStart(ln.Addr().String())
@@ -137,9 +254,9 @@ func runConfig(cfg config) error {
 		// the listener failed underneath us.
 		return fmt.Errorf("server failed: %w", err)
 	case s := <-sig:
-		fmt.Printf("hpfd: %v — draining (up to %v)\n", s, cfg.Drain)
+		logger.Info("draining", slog.String("reason", s.String()), slog.Duration("budget", cfg.Drain))
 	case <-cfg.stop:
-		fmt.Printf("hpfd: stop requested — draining (up to %v)\n", cfg.Drain)
+		logger.Info("draining", slog.String("reason", "stop requested"), slog.Duration("budget", cfg.Drain))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Drain)
 	defer cancel()
@@ -148,7 +265,11 @@ func runConfig(cfg config) error {
 	}
 	<-served // http.ErrServerClosed
 	st := srv.Stats()
-	fmt.Printf("hpfd: drained; cache %d entries, %d hits, %d compiles, %d coalesced waiters\n",
-		st.Entries, st.Hits, st.Misses, st.Coalesced)
+	logger.Info("drained",
+		slog.Int64("cache_entries", st.Entries),
+		slog.Int64("hits", st.Hits),
+		slog.Int64("compiles", st.Misses),
+		slog.Int64("coalesced", st.Coalesced),
+	)
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -136,5 +137,133 @@ func TestBadPprofFailsFast(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "-pprof") {
 		t.Errorf("error %q does not name the -pprof flag", err)
+	}
+}
+
+// TestHTTPServerHardening: the listener-facing server carries the
+// slowloris protections, from both the defaults and explicit overrides.
+func TestHTTPServerHardening(t *testing.T) {
+	hs := newHTTPServer(config{}.withDefaults(), nil)
+	if hs.ReadHeaderTimeout != 5*time.Second {
+		t.Errorf("default ReadHeaderTimeout = %v, want 5s", hs.ReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != 30*time.Second {
+		t.Errorf("default ReadTimeout = %v, want 30s", hs.ReadTimeout)
+	}
+	if hs.IdleTimeout != 2*time.Minute {
+		t.Errorf("default IdleTimeout = %v, want 2m", hs.IdleTimeout)
+	}
+	if hs.MaxHeaderBytes != 1<<20 {
+		t.Errorf("default MaxHeaderBytes = %d, want %d", hs.MaxHeaderBytes, 1<<20)
+	}
+
+	hs = newHTTPServer(config{
+		ReadHeaderTimeout: time.Second,
+		ReadTimeout:       2 * time.Second,
+		IdleTimeout:       3 * time.Second,
+		MaxHeaderBytes:    4096,
+	}.withDefaults(), nil)
+	if hs.ReadHeaderTimeout != time.Second || hs.ReadTimeout != 2*time.Second ||
+		hs.IdleTimeout != 3*time.Second || hs.MaxHeaderBytes != 4096 {
+		t.Errorf("overrides not applied: %+v", hs)
+	}
+}
+
+// TestBadLogFormat: an unknown -log-format fails the start with an
+// error naming the flag.
+func TestBadLogFormat(t *testing.T) {
+	err := runConfig(config{Addr: "127.0.0.1:0", LogFormat: "xml", Drain: time.Second})
+	if err == nil {
+		t.Fatal("runConfig succeeded with -log-format xml")
+	}
+	if !strings.Contains(err.Error(), "-log-format") {
+		t.Errorf("error %q does not name the -log-format flag", err)
+	}
+}
+
+// logBuffer is a mutex-guarded sink for the server's log stream; the
+// lifecycle goroutine and per-request access logs write concurrently.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestJSONLogsAndTraceIdentity boots hpfd with -log-format json, joins
+// a fixed traceparent, and checks: the trace ID round-trips into
+// X-Request-ID, every log line is valid JSON, and the lifecycle events
+// (listening, request, draining, drained) are all present.
+func TestJSONLogsAndTraceIdentity(t *testing.T) {
+	var logs logBuffer
+	addr, shutdown := startServer(t, config{Drain: 5 * time.Second, LogFormat: "json", logOut: &logs})
+	url := "http://" + addr
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, _ := http.NewRequest(http.MethodGet, url+"/v1/plan?p=4&k=8&l=4&u=319&s=9", nil)
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/plan = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != traceID {
+		t.Errorf("X-Request-ID = %q, want the inbound trace ID %q", got, traceID)
+	}
+	if tp := resp.Header.Get("traceparent"); !strings.Contains(tp, traceID) {
+		t.Errorf("response traceparent %q does not carry the inbound trace ID", tp)
+	}
+
+	// The span trace is exported on /trace (tracing is on by default).
+	resp, err = http.Get(url + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(trace), `"hpfd.request"`) || !strings.Contains(string(trace), traceID) {
+		t.Error("/trace export lacks the request span or its trace ID")
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	msgs := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if msg, ok := rec["msg"].(string); ok {
+			msgs[msg] = true
+		}
+		if rec["msg"] == "request" && rec["route"] == "plan" {
+			if rec["trace"] != traceID {
+				t.Errorf("access log trace = %v, want %s", rec["trace"], traceID)
+			}
+		}
+	}
+	for _, want := range []string{"listening", "request", "draining", "drained"} {
+		if !msgs[want] {
+			t.Errorf("log stream lacks a %q event:\n%s", want, logs.String())
+		}
 	}
 }

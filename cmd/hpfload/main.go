@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -106,11 +107,87 @@ type report struct {
 	P99Ns      int64   `json:"p99_ns"`
 	MaxNs      int64   `json:"max_ns"`
 
+	// StatusCounts breaks every response down by status code ("200",
+	// "429", ...), plus "error" for transport failures that never got a
+	// status line. ThrottledRate is 429s over all requests.
+	StatusCounts  map[string]int64 `json:"status_counts"`
+	ThrottledRate float64          `json:"throttled_rate"`
+	// RetryAfter summarizes the Retry-After values the server attached to
+	// its 429s; nil when the run was never throttled.
+	RetryAfter *retryAfterStats `json:"retry_after,omitempty"`
+
 	Server serverDelta `json:"server"`
 	// CoalescingEffectiveness is Coalesced / (Coalesced + Compiles): the
 	// fraction of cold-path requests that rode an existing build instead
 	// of compiling. 0 when the server exposed no counters or stayed warm.
 	CoalescingEffectiveness float64 `json:"coalescing_effectiveness"`
+}
+
+// retryAfterStats aggregates the Retry-After seconds observed on 429
+// responses. A load generator that honors these would sleep MeanSeconds
+// on average before retrying — so the spread is worth reporting.
+type retryAfterStats struct {
+	Count       int64   `json:"count"`
+	MinSeconds  int64   `json:"min_seconds"`
+	MaxSeconds  int64   `json:"max_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+}
+
+// statusTally is the workers' shared outcome sink. One mutex is fine
+// here: the critical section is a map increment, dwarfed by the HTTP
+// round trip each worker performs between visits.
+type statusTally struct {
+	mu      sync.Mutex
+	counts  map[string]int64
+	raCount int64
+	raSum   int64
+	raMin   int64
+	raMax   int64
+}
+
+func newStatusTally() *statusTally {
+	return &statusTally{counts: make(map[string]int64)}
+}
+
+func (t *statusTally) observe(status string, retryAfter string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counts[status]++
+	if retryAfter == "" {
+		return
+	}
+	// hpfd sends delta-seconds; ignore HTTP-date or garbage values rather
+	// than failing the run over a malformed header.
+	sec, err := strconv.ParseInt(strings.TrimSpace(retryAfter), 10, 64)
+	if err != nil || sec < 0 {
+		return
+	}
+	if t.raCount == 0 || sec < t.raMin {
+		t.raMin = sec
+	}
+	if sec > t.raMax {
+		t.raMax = sec
+	}
+	t.raCount++
+	t.raSum += sec
+}
+
+func (t *statusTally) report() (map[string]int64, *retryAfterStats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	counts := make(map[string]int64, len(t.counts))
+	for k, v := range t.counts {
+		counts[k] = v
+	}
+	if t.raCount == 0 {
+		return counts, nil
+	}
+	return counts, &retryAfterStats{
+		Count:       t.raCount,
+		MinSeconds:  t.raMin,
+		MaxSeconds:  t.raMax,
+		MeanSeconds: float64(t.raSum) / float64(t.raCount),
+	}
 }
 
 // makeKeys synthesizes the working set: distinct (k, l, s) variations
@@ -165,6 +242,7 @@ func runLoad(cfg loadConfig) (*report, error) {
 		failed    atomic.Int64
 		next      atomic.Int64
 	)
+	tally := newStatusTally()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.C; w++ {
@@ -191,6 +269,7 @@ func runLoad(cfg loadConfig) (*report, error) {
 					strings.NewReader(string(bodies[i])))
 				if err != nil {
 					failed.Add(1)
+					tally.observe("error", "")
 					continue
 				}
 				req.Header.Set("Content-Type", "application/json")
@@ -200,11 +279,13 @@ func runLoad(cfg loadConfig) (*report, error) {
 				resp, err := client.Do(req)
 				if err != nil {
 					failed.Add(1)
+					tally.observe("error", "")
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				latency.Observe(time.Since(t0).Nanoseconds())
+				tally.observe(strconv.Itoa(resp.StatusCode), resp.Header.Get("Retry-After"))
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					ok.Add(1)
@@ -241,6 +322,8 @@ func runLoad(cfg loadConfig) (*report, error) {
 		P99Ns:      latency.Quantile(0.99),
 		MaxNs:      latency.Max(),
 	}
+	rep.StatusCounts, rep.RetryAfter = tally.report()
+	rep.ThrottledRate = float64(rep.Throttled) / float64(cfg.N)
 	rep.Server = serverDelta{
 		Compiles:  after.misses - before.misses,
 		Coalesced: after.coalesced - before.coalesced,
@@ -306,6 +389,23 @@ func printReport(w *os.File, rep *report) {
 		rep.OK, rep.Throttled, rep.Failed, time.Duration(rep.DurationNs).Round(time.Millisecond), rep.Throughput)
 	fmt.Fprintf(w, "  latency      p50 %v  p90 %v  p99 %v  max %v\n",
 		time.Duration(rep.P50Ns), time.Duration(rep.P90Ns), time.Duration(rep.P99Ns), time.Duration(rep.MaxNs))
+	if len(rep.StatusCounts) > 0 {
+		codes := make([]string, 0, len(rep.StatusCounts))
+		for code := range rep.StatusCounts {
+			codes = append(codes, code)
+		}
+		sort.Strings(codes)
+		parts := make([]string, 0, len(codes))
+		for _, code := range codes {
+			parts = append(parts, fmt.Sprintf("%s:%d", code, rep.StatusCounts[code]))
+		}
+		fmt.Fprintf(w, "  status       %s  (429 rate %.1f%%)\n",
+			strings.Join(parts, "  "), 100*rep.ThrottledRate)
+	}
+	if ra := rep.RetryAfter; ra != nil {
+		fmt.Fprintf(w, "  retry-after  %d values: min %ds  mean %.1fs  max %ds\n",
+			ra.Count, ra.MinSeconds, ra.MeanSeconds, ra.MaxSeconds)
+	}
 	if rep.Server.Scraped {
 		fmt.Fprintf(w, "  server       %d compiles, %d coalesced waiters, %d cache hits\n",
 			rep.Server.Compiles, rep.Server.Coalesced, rep.Server.Hits)

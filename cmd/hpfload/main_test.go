@@ -58,6 +58,83 @@ func TestLoadAgainstColdServer(t *testing.T) {
 		t.Errorf("scraped deltas (%d compiles, %d coalesced) disagree with server stats %+v",
 			rep.Server.Compiles, rep.Server.Coalesced, st)
 	}
+	if rep.StatusCounts["200"] != 200 || len(rep.StatusCounts) != 1 {
+		t.Errorf("status counts = %v, want {200: 200}", rep.StatusCounts)
+	}
+	if rep.ThrottledRate != 0 || rep.RetryAfter != nil {
+		t.Errorf("unthrottled run reported rate %f, retry-after %+v", rep.ThrottledRate, rep.RetryAfter)
+	}
+}
+
+// TestThrottledRunReportsRetryAfter drives a quota'd tenant hard enough
+// to draw 429s and checks the new hpfload/v1 fields: the per-status
+// breakdown, the 429 rate, and the observed Retry-After spread.
+func TestThrottledRunReportsRetryAfter(t *testing.T) {
+	// Burst 1 at 0.5 rps: the first request spends the bucket, everything
+	// after is refused with Retry-After >= 1.
+	addr, _ := newHpfd(t, serve.Config{TenantRate: 0.5, TenantBurst: 1})
+	rep, err := runLoad(loadConfig{
+		Addr: addr, N: 32, C: 4, Keys: 4, Zipf: 0, Seed: 3,
+		Tenant: "throttled-tenant", Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throttled == 0 {
+		t.Fatal("no 429s; the quota did not bite")
+	}
+	if rep.StatusCounts["429"] != rep.Throttled {
+		t.Errorf("status counts %v disagree with throttled = %d", rep.StatusCounts, rep.Throttled)
+	}
+	if got := rep.StatusCounts["200"] + rep.StatusCounts["429"]; got != rep.Requests {
+		t.Errorf("status counts %v do not cover all %d requests", rep.StatusCounts, rep.Requests)
+	}
+	wantRate := float64(rep.Throttled) / float64(rep.Requests)
+	if rep.ThrottledRate != wantRate {
+		t.Errorf("throttled rate = %f, want %f", rep.ThrottledRate, wantRate)
+	}
+	ra := rep.RetryAfter
+	if ra == nil {
+		t.Fatal("throttled run reported no retry-after stats")
+	}
+	if ra.Count != rep.Throttled {
+		t.Errorf("retry-after count = %d, want one per 429 (%d)", ra.Count, rep.Throttled)
+	}
+	if ra.MinSeconds < 1 || ra.MaxSeconds < ra.MinSeconds ||
+		ra.MeanSeconds < float64(ra.MinSeconds) || ra.MeanSeconds > float64(ra.MaxSeconds) {
+		t.Errorf("retry-after stats inconsistent: %+v", ra)
+	}
+}
+
+// TestStatusTally exercises the aggregation edge cases directly:
+// transport errors with no header, malformed and negative Retry-After
+// values ignored, min/max/mean over a spread.
+func TestStatusTally(t *testing.T) {
+	tally := newStatusTally()
+	tally.observe("error", "")
+	tally.observe("200", "")
+	tally.observe("429", "2")
+	tally.observe("429", "5")
+	tally.observe("429", "1")
+	tally.observe("429", "not-a-number") // counted as a 429, excluded from stats
+	tally.observe("429", "-3")           // negative: ditto
+	counts, ra := tally.report()
+	if counts["error"] != 1 || counts["200"] != 1 || counts["429"] != 5 {
+		t.Errorf("counts = %v", counts)
+	}
+	if ra == nil || ra.Count != 3 || ra.MinSeconds != 1 || ra.MaxSeconds != 5 {
+		t.Fatalf("retry-after = %+v, want count 3 min 1 max 5", ra)
+	}
+	if want := (2.0 + 5.0 + 1.0) / 3.0; ra.MeanSeconds != want {
+		t.Errorf("mean = %f, want %f", ra.MeanSeconds, want)
+	}
+
+	// No 429s at all: the stats block must be omitted, not zero-valued.
+	empty := newStatusTally()
+	empty.observe("200", "")
+	if _, ra := empty.report(); ra != nil {
+		t.Errorf("clean run produced retry-after stats %+v", ra)
+	}
 }
 
 // TestSingleColdKeyCompilesOnce: a concurrent burst at one cold key is

@@ -33,16 +33,21 @@ const ReportSchema = "hpfprof/v1"
 // is a convenience alias for the hpfmem CLI).
 const MemReportSchema = "hpfmem/v1"
 
+// ServeReportSchema tags -serve -json output: the hpfd request-phase
+// attribution.
+const ServeReportSchema = "hpfprof/serve/v1"
+
 func main() {
 	var (
 		top      = flag.Int("top", 10, "rows to show in the per-operation tables (0 = all)")
 		jsonOut  = flag.Bool("json", false, "emit the full analysis as "+ReportSchema+" JSON instead of text")
 		maxSteps = flag.Int("steps", 0, "with -json, cap critical_path.steps at this many entries (0 = all; totals and by_op stay complete)")
 		mem      = flag.Bool("mem", false, "treat the input as an accesstrace/v1 memory trace and run the reuse-distance locality analysis (like hpfmem)")
+		serve    = flag.Bool("serve", false, "treat the input as an hpfd trace/v1 dump and report per-request phase attribution and the coalescing tree")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: hpfprof [flags] <trace-file>\n\nAnalyzes a trace/v1 or Chrome trace_event JSON file (\"-\" reads stdin).\nWith -mem, analyzes an accesstrace/v1 memory trace instead.\n\n")
+			"usage: hpfprof [flags] <trace-file>\n\nAnalyzes a trace/v1 or Chrome trace_event JSON file (\"-\" reads stdin).\nWith -mem, analyzes an accesstrace/v1 memory trace instead.\nWith -serve, analyzes an hpfd trace/v1 dump (curl /trace | hpfprof -serve -).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,15 +56,50 @@ func main() {
 		os.Exit(2)
 	}
 	var err error
-	if *mem {
+	switch {
+	case *mem:
 		err = runMem(os.Stdout, os.Stderr, flag.Arg(0), *jsonOut)
-	} else {
+	case *serve:
+		err = runServe(os.Stdout, flag.Arg(0), *jsonOut)
+	default:
 		err = run(os.Stdout, os.Stderr, flag.Arg(0), *top, *maxSteps, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpfprof:", err)
 		os.Exit(1)
 	}
+}
+
+// runServe is the hpfd request-attribution path: a trace/v1 dump in,
+// per-phase latency and the coalescing tree out.
+func runServe(w io.Writer, path string, jsonOut bool) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := telemetry.ReadTraceV1(r)
+	if err != nil {
+		return err
+	}
+	a, err := traceanalysis.AnalyzeServe(doc)
+	if err != nil {
+		return err
+	}
+	if !jsonOut {
+		return a.WriteText(w)
+	}
+	out := struct {
+		Schema string `json:"schema"`
+		*traceanalysis.ServeAnalysis
+	}{ServeReportSchema, a}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // runMem is the hpfmem analysis inlined: locality tables from a memory

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -236,5 +237,97 @@ func TestBadInputs(t *testing.T) {
 	}
 	if err := run(&bytes.Buffer{}, &bytes.Buffer{}, bad, 10, 0, false); err == nil {
 		t.Error("no error for non-trace input")
+	}
+}
+
+// serveTraceFile records a small hpfd-style request trace — one builder
+// with compile phases and one coalesced waiter — and writes it as
+// trace/v1.
+func serveTraceFile(t *testing.T) string {
+	t.Helper()
+	tr := telemetry.StartTracing(0, 1024)
+	defer telemetry.StopTracing()
+
+	ctx, root := telemetry.StartSpan(context.Background(), "hpfd.request")
+	_, adm := telemetry.StartSpan(ctx, "hpfd.admission")
+	adm.End()
+	bctx, build := telemetry.StartSpan(ctx, "hpfd.build")
+	_, tbl := telemetry.StartSpan(bctx, "hpfd.tables")
+	tbl.End()
+	_, sel := telemetry.StartSpan(bctx, "hpfd.select")
+	sel.End()
+	_, enc := telemetry.StartSpan(bctx, "hpfd.encode")
+	enc.End()
+	build.End()
+	root.End()
+
+	wctx, wroot := telemetry.StartSpan(context.Background(), "hpfd.request")
+	_, wait := telemetry.StartSpan(wctx, "hpfd.wait")
+	wait.EndLink(build.Context().Span)
+	wroot.End()
+
+	path := filepath.Join(t.TempDir(), "serve.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteTraceV1(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestServeReport(t *testing.T) {
+	path := serveTraceFile(t)
+	var out bytes.Buffer
+	if err := runServe(&out, path, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"2 requests, 1 builds, 1 coalesced waiters",
+		"admission", "build", "tables", "select", "encode", "wait", "unattributed",
+		"coalescing tree (1 flights)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := runServe(&out, path, true); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema   string `json:"schema"`
+		Requests int    `json:"requests"`
+		Builds   int    `json:"builds"`
+		Waiters  int    `json:"waiters"`
+		Phases   []struct {
+			Name string `json:"name"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-serve -json output is not JSON: %v", err)
+	}
+	if doc.Schema != ServeReportSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, ServeReportSchema)
+	}
+	if doc.Requests != 2 || doc.Builds != 1 || doc.Waiters != 1 {
+		t.Errorf("requests/builds/waiters = %d/%d/%d, want 2/1/1", doc.Requests, doc.Builds, doc.Waiters)
+	}
+	if len(doc.Phases) != 8 {
+		t.Errorf("got %d phases, want 8", len(doc.Phases))
+	}
+}
+
+// TestServeReportRejectsSPMDTrace: feeding a rank trace to -serve is a
+// clear error, not an empty report.
+func TestServeReportRejectsSPMDTrace(t *testing.T) {
+	_, v1Path := traceFiles(t)
+	var out bytes.Buffer
+	if err := runServe(&out, v1Path, false); err == nil {
+		t.Error("no error for an SPMD trace")
 	}
 }

@@ -1,0 +1,128 @@
+// Observability benchmark: the per-phase latency attribution of a cold
+// thundering herd, measured from hpfd's own request spans rather than
+// from the client side. One run answers "when 64 clients hit one cold
+// key, where does each request's time go" — admission, the winning
+// build (tables / select / encode), the coalesced wait, and the
+// unattributed remainder — exactly the table EXPERIMENTS.md reports.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plancache"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/traceanalysis"
+)
+
+// ObsServeResult is the span-derived attribution of a cold-herd run.
+type ObsServeResult struct {
+	Herd   int
+	Rounds int
+	// Counts from the trace: every request span, the winning builds (one
+	// per round), and the coalesced waiters that linked to them.
+	Requests int
+	Builds   int
+	Waiters  int
+	Phases   []traceanalysis.ServePhase
+}
+
+// Phase returns the named phase row (zero row when absent), mirroring
+// ServeAnalysis.Phase for callers holding only the bench result.
+func (r *ObsServeResult) Phase(name string) traceanalysis.ServePhase {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p
+		}
+	}
+	return traceanalysis.ServePhase{Name: name}
+}
+
+// ObsServeBench fires rounds cold-key herds at an in-process hpfd with
+// the span tracer on, then attributes the recorded spans. It owns the
+// process-wide tracer for the duration of the run: any tracer the
+// caller had active is stopped first and not restored.
+func ObsServeBench(herd, rounds int) (*ObsServeResult, error) {
+	if herd < 2 {
+		herd = 64
+	}
+	if rounds < 1 {
+		rounds = 3
+	}
+	plancache.ResetTables()
+	telemetry.StopTracing()
+	// Ring sized for the run: ~7 spans per building request and 3 per
+	// waiter, with generous slack so Dropped stays zero.
+	telemetry.StartTracing(0, 64*herd*rounds)
+	defer telemetry.StopTracing()
+
+	srv, err := serve.New(serve.Config{MaxInflight: herd})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	defer hs.Close()
+	go hs.Serve(ln)
+	url := "http://" + ln.Addr().String() + "/v1/plan"
+	client := &http.Client{
+		Timeout:   2 * time.Minute,
+		Transport: &http.Transport{MaxIdleConnsPerHost: herd},
+	}
+
+	var lat telemetry.Histogram
+	var ok, failed atomic.Int64
+	for round := 0; round < rounds; round++ {
+		body, err := json.Marshal(serveBenchKey(round))
+		if err != nil {
+			return nil, err
+		}
+		fireHerd(client, url, body, herd, &lat, &ok, &failed)
+	}
+	if n := failed.Load(); n > 0 {
+		return nil, fmt.Errorf("bench: obsserve: %d of %d requests failed", n, ok.Load()+n)
+	}
+
+	tracer := telemetry.StopTracing()
+	if tracer == nil {
+		return nil, fmt.Errorf("bench: obsserve: tracer vanished mid-run")
+	}
+	doc := tracer.TraceDoc()
+	a, err := traceanalysis.AnalyzeServe(&doc)
+	if err != nil {
+		return nil, err
+	}
+	if a.Dropped > 0 {
+		return nil, fmt.Errorf("bench: obsserve: ring overwrote %d events; raise the capacity", a.Dropped)
+	}
+	return &ObsServeResult{
+		Herd: herd, Rounds: rounds,
+		Requests: a.Requests, Builds: a.Builds, Waiters: a.Waiters,
+		Phases: a.Phases,
+	}, nil
+}
+
+// FormatObsServe renders the per-phase attribution table.
+func FormatObsServe(r *ObsServeResult) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "hpfd request attribution: %d-client herd, %d cold keys (%d requests, %d builds, %d waiters)\n",
+		r.Herd, r.Rounds, r.Requests, r.Builds, r.Waiters)
+	fmt.Fprintf(&b, "%-14s%7s%14s%14s%14s\n", "phase", "count", "p50", "p99", "max")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "%-14s%7d%14v%14v%14v\n", p.Name, p.Count,
+			time.Duration(p.P50Ns).Round(time.Microsecond),
+			time.Duration(p.P99Ns).Round(time.Microsecond),
+			time.Duration(p.MaxNs).Round(time.Microsecond))
+	}
+	return b.String()
+}

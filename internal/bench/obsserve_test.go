@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestObsServeBench runs a small herd and checks the span-derived
+// attribution is internally consistent: one build per round, every
+// other herd member a waiter, and the core phases populated.
+func TestObsServeBench(t *testing.T) {
+	const herd, rounds = 8, 2
+	r, err := ObsServeBench(herd, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != herd*rounds {
+		t.Errorf("requests = %d, want %d", r.Requests, herd*rounds)
+	}
+	if r.Builds != rounds {
+		t.Errorf("builds = %d, want %d (one per cold key)", r.Builds, rounds)
+	}
+	// Late herd members can land after the build publishes (cache hit
+	// instead of coalesced wait), so waiters is bounded, not exact.
+	if r.Waiters < 1 || r.Waiters > (herd-1)*rounds {
+		t.Errorf("waiters = %d, want 1..%d", r.Waiters, (herd-1)*rounds)
+	}
+	for _, name := range []string{"request", "admission", "build", "tables", "select", "encode"} {
+		if p := r.Phase(name); p.Count == 0 {
+			t.Errorf("phase %q has no samples", name)
+		}
+	}
+	if req, build := r.Phase("request"), r.Phase("build"); build.MaxNs > req.MaxNs {
+		t.Errorf("build max %d exceeds request max %d", build.MaxNs, req.MaxNs)
+	}
+	if out := FormatObsServe(r); len(out) == 0 {
+		t.Error("empty formatted table")
+	}
+}

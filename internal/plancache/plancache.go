@@ -91,11 +91,43 @@ type shard[K comparable, V any] struct {
 }
 
 // flight is one in-progress build. done is closed exactly once, after
-// val/err are final; waiters block on it and then read both fields.
+// val/err/note are final; waiters block on it and then read the fields.
 type flight[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+	// note is an opaque builder-published tag (hpfd publishes the build
+	// span's ID so coalesced waiters can link their wait span to the
+	// winning build's trace). Written only by the builder before done
+	// closes; the channel close is the happens-before edge that makes it
+	// safe for waiters to read.
+	note uint64
+}
+
+// FlightOutcome reports how GetOrComputeFlight satisfied a lookup.
+type FlightOutcome int
+
+const (
+	// FlightHit means the value was already cached.
+	FlightHit FlightOutcome = iota
+	// FlightBuilt means this caller ran the build.
+	FlightBuilt
+	// FlightCoalesced means this caller waited on another caller's
+	// in-flight build of the same key.
+	FlightCoalesced
+)
+
+// String names the outcome for logs and metrics.
+func (o FlightOutcome) String() string {
+	switch o {
+	case FlightHit:
+		return "hit"
+	case FlightBuilt:
+		return "built"
+	case FlightCoalesced:
+		return "coalesced"
+	}
+	return "unknown"
 }
 
 // New returns a cache holding at most capacity entries in total,
@@ -154,6 +186,25 @@ func (c *Cache[K, V]) Put(k K, v V) {
 // build. A panic in build is converted to an error for the waiters and
 // re-raised in the building goroutine.
 func (c *Cache[K, V]) GetOrCompute(k K, build func() (V, error)) (V, error) {
+	v, _, _, err := c.getOrCompute(k, build, nil)
+	return v, err
+}
+
+// GetOrComputeFlight is GetOrCompute with the coalescing made visible:
+// it additionally reports whether this caller hit the cache, ran the
+// build, or waited on another caller's build, and relays the builder's
+// note. The builder may call note(tag) at most once before returning
+// (hpfd publishes its build span's ID); the same tag is returned to the
+// builder and to every coalesced waiter of that flight, and is 0 on a
+// cache hit or when the builder never called note.
+func (c *Cache[K, V]) GetOrComputeFlight(k K, build func(note func(uint64)) (V, error)) (V, FlightOutcome, uint64, error) {
+	return c.getOrCompute(k, nil, build)
+}
+
+// getOrCompute implements both build-signature variants. Exactly one of
+// plain and noted is non-nil; keeping the plain variant closure-free
+// preserves the zero-allocation warm paths its callers rely on.
+func (c *Cache[K, V]) getOrCompute(k K, plain func() (V, error), noted func(func(uint64)) (V, error)) (V, FlightOutcome, uint64, error) {
 	s := c.shard(k)
 	s.mu.Lock()
 	if n, ok := s.entries[k]; ok {
@@ -161,13 +212,13 @@ func (c *Cache[K, V]) GetOrCompute(k K, build func() (V, error)) (V, error) {
 		s.touch(n)
 		v := n.val
 		s.mu.Unlock()
-		return v, nil
+		return v, FlightHit, 0, nil
 	}
 	if f, ok := s.inflight[k]; ok {
 		s.coalesced.Add(1)
 		s.mu.Unlock()
 		<-f.done
-		return f.val, f.err
+		return f.val, FlightCoalesced, f.note, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
 	s.inflight[k] = f
@@ -194,8 +245,12 @@ func (c *Cache[K, V]) GetOrCompute(k K, build func() (V, error)) (V, error) {
 			panic(r)
 		}
 	}()
-	f.val, f.err = build()
-	return f.val, f.err
+	if plain != nil {
+		f.val, f.err = plain()
+	} else {
+		f.val, f.err = noted(func(tag uint64) { f.note = tag })
+	}
+	return f.val, FlightBuilt, f.note, f.err
 }
 
 // Len returns the current number of cached entries.

@@ -418,3 +418,88 @@ func TestRegisterDuplicateName(t *testing.T) {
 		t.Errorf("published hits = %d, want 1 (cache a's counter)", got)
 	}
 }
+
+// TestGetOrComputeFlight covers the three outcomes and the note relay:
+// the builder's note must reach every coalesced waiter of that flight,
+// a hit carries no note, and the outcomes count into the same stats as
+// GetOrCompute.
+func TestGetOrComputeFlight(t *testing.T) {
+	c := New[int64, int64](64, intHash)
+	const herd = 16
+	const tag = uint64(0xabcdef0123456789)
+
+	build := func(note func(uint64)) (int64, error) {
+		note(tag)
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Stats().Coalesced < herd-1 {
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("waiters never coalesced: %+v", c.Stats())
+			}
+			runtime.Gosched()
+		}
+		return 7, nil
+	}
+	var wg sync.WaitGroup
+	var built, coalesced atomic.Int64
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, outcome, note, err := c.GetOrComputeFlight(3, build)
+			if err != nil || v != 7 {
+				t.Errorf("GetOrComputeFlight = %d, %v", v, err)
+			}
+			if note != tag {
+				t.Errorf("outcome %v got note %x, want %x", outcome, note, tag)
+			}
+			switch outcome {
+			case FlightBuilt:
+				built.Add(1)
+			case FlightCoalesced:
+				coalesced.Add(1)
+			default:
+				t.Errorf("unexpected outcome %v on a cold key", outcome)
+			}
+		}()
+	}
+	wg.Wait()
+	if built.Load() != 1 || coalesced.Load() != herd-1 {
+		t.Fatalf("built = %d, coalesced = %d; want 1 and %d", built.Load(), coalesced.Load(), herd-1)
+	}
+
+	// Warm lookup: a hit, no note, build not invoked.
+	v, outcome, note, err := c.GetOrComputeFlight(3, func(func(uint64)) (int64, error) {
+		t.Error("build ran on a warm key")
+		return 0, nil
+	})
+	if err != nil || v != 7 || outcome != FlightHit || note != 0 {
+		t.Fatalf("warm GetOrComputeFlight = %d, %v, %x, %v", v, outcome, note, err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != herd-1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestGetOrComputeFlightNoNote: a builder that never publishes a note
+// yields 0 to itself and its waiters.
+func TestGetOrComputeFlightNoNote(t *testing.T) {
+	c := New[int64, int64](8, intHash)
+	v, outcome, note, err := c.GetOrComputeFlight(1, func(func(uint64)) (int64, error) {
+		return 5, nil
+	})
+	if err != nil || v != 5 || outcome != FlightBuilt || note != 0 {
+		t.Fatalf("GetOrComputeFlight = %d, %v, %x, %v", v, outcome, note, err)
+	}
+}
+
+func TestFlightOutcomeString(t *testing.T) {
+	for o, want := range map[FlightOutcome]string{
+		FlightHit: "hit", FlightBuilt: "built", FlightCoalesced: "coalesced",
+		FlightOutcome(99): "unknown",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("FlightOutcome(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"testing"
+)
+
+// accessLogAttrs mirrors the observe middleware's LogAttrs call: same
+// attr count and shapes, so the benchmark measures the real call site's
+// cost when the handler's level filters the record out.
+func accessLogAttrs(ctx context.Context, logger *slog.Logger) {
+	logger.LogAttrs(ctx, slog.LevelInfo, "request",
+		slog.String("route", "plan"),
+		slog.String("method", "POST"),
+		slog.String("path", "/v1/plan"),
+		slog.String("tenant", "t"),
+		slog.Int("status", 200),
+		slog.Int64("bytes", 512),
+		slog.Int64("dur_ns", 1234567),
+		slog.String("cache", "hit"),
+		slog.String("trace", "4bf92f3577b34da6a3ce929d0e0e4736"),
+		slog.String("span", "00f067aa0ba902b7"),
+		slog.String("request_id", "req-1"),
+	)
+}
+
+// TestSlogDisabledZeroAlloc: when the access log's level is filtered
+// out, the LogAttrs call must not allocate — serving with -log-format
+// suppressed must cost nothing per request beyond the level check.
+func TestSlogDisabledZeroAlloc(t *testing.T) {
+	logger := slog.New(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError}))
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() { accessLogAttrs(ctx, logger) }); n != 0 {
+		t.Errorf("disabled access log allocates %v times per call, want 0", n)
+	}
+}
+
+// BenchmarkSlogDisabled is the companion ReportAllocs benchmark: the
+// per-request cost of the access-log call when logging is suppressed.
+func BenchmarkSlogDisabled(b *testing.B) {
+	logger := slog.New(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError}))
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		accessLogAttrs(ctx, logger)
+	}
+}
+
+// BenchmarkSlogEnabled is the same call with the record actually
+// serialized — the price of turning the access log on.
+func BenchmarkSlogEnabled(b *testing.B) {
+	logger := slog.New(slog.NewJSONHandler(io.Discard, nil))
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		accessLogAttrs(ctx, logger)
+	}
+}

@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/plancache"
+	"repro/internal/telemetry"
+)
+
+// TestHerdTrace is the tentpole acceptance test: a cold key hit by a
+// concurrent herd yields one connected trace — request, admission, one
+// build (with tables/select/encode children), and waiter spans in the
+// other requests' traces linked to the build span — whose durations
+// account for the builder's request span.
+func TestHerdTrace(t *testing.T) {
+	plancache.ResetTables()
+	tr := telemetry.StartTracing(0, 1<<13)
+	defer telemetry.StopTracing()
+
+	const herd = 8
+	var srv *Server
+	srv, ts := newTestServer(t, Config{
+		compileHook: func(PlanRequest) {
+			time.Sleep(20 * time.Millisecond)
+			deadline := time.Now().Add(10 * time.Second)
+			for srv == nil || srv.Stats().Coalesced < herd-1 {
+				if time.Now().After(deadline) {
+					t.Error("waiters never coalesced")
+					return
+				}
+				runtime.Gosched()
+			}
+		},
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postPlan(t, ts.URL, PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320}, nil)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	spans := map[string][]telemetry.Event{}
+	for _, e := range tr.Events() {
+		if e.Kind == telemetry.KindSpan && e.Span != 0 {
+			spans[e.Name] = append(spans[e.Name], e)
+		}
+	}
+	if n := len(spans["hpfd.build"]); n != 1 {
+		t.Fatalf("got %d hpfd.build spans, want exactly 1 (herd of %d)", n, herd)
+	}
+	build := spans["hpfd.build"][0]
+	if n := len(spans["hpfd.request"]); n != herd {
+		t.Fatalf("got %d hpfd.request spans, want %d", n, herd)
+	}
+	if n := len(spans["hpfd.wait"]); n != herd-1 {
+		t.Fatalf("got %d hpfd.wait spans, want %d", n, herd-1)
+	}
+	for _, w := range spans["hpfd.wait"] {
+		if w.Link != build.Span {
+			t.Errorf("wait span links to %x, want build span %x", w.Link, build.Span)
+		}
+		if w.TraceHi == build.TraceHi && w.TraceLo == build.TraceLo {
+			t.Error("a wait span shares the builder's trace; waiters must be other requests")
+		}
+	}
+	// The compile phases are children of the build span, in its trace.
+	for _, phase := range []string{"hpfd.tables", "hpfd.select", "hpfd.encode"} {
+		if n := len(spans[phase]); n != 1 {
+			t.Fatalf("got %d %s spans, want 1", n, phase)
+		}
+		e := spans[phase][0]
+		if e.Parent != build.Span || e.TraceHi != build.TraceHi || e.TraceLo != build.TraceLo {
+			t.Errorf("%s span parent %x trace %x%x, want build %x %x%x",
+				phase, e.Parent, e.TraceHi, e.TraceLo, build.Span, build.TraceHi, build.TraceLo)
+		}
+	}
+
+	// The builder's own request span: same trace as the build span; the
+	// admission + build durations must account for it (within slack —
+	// the remainder is JSON write and handler overhead, far below the
+	// 20 ms the compile hook sleeps).
+	var reqSpan, admSpan *telemetry.Event
+	for i := range spans["hpfd.request"] {
+		e := &spans["hpfd.request"][i]
+		if e.TraceHi == build.TraceHi && e.TraceLo == build.TraceLo {
+			reqSpan = e
+		}
+	}
+	for i := range spans["hpfd.admission"] {
+		e := &spans["hpfd.admission"][i]
+		if e.TraceHi == build.TraceHi && e.TraceLo == build.TraceLo {
+			admSpan = e
+		}
+	}
+	if reqSpan == nil || admSpan == nil {
+		t.Fatal("builder's trace lacks a request or admission span")
+	}
+	if build.Parent != reqSpan.Span || admSpan.Parent != reqSpan.Span {
+		t.Errorf("build parent %x, admission parent %x, want request span %x",
+			build.Parent, admSpan.Parent, reqSpan.Span)
+	}
+	phaseSum := admSpan.Dur + build.Dur
+	if phaseSum > reqSpan.Dur {
+		t.Errorf("admission+build = %d ns exceeds the request span %d ns", phaseSum, reqSpan.Dur)
+	}
+	if phaseSum < reqSpan.Dur/2 {
+		t.Errorf("admission+build = %d ns accounts for under half the request span %d ns", phaseSum, reqSpan.Dur)
+	}
+}
+
+// TestTraceparentEcho: an inbound traceparent is joined — the response
+// reports the same trace ID — and X-Request-ID is echoed when supplied,
+// minted from the trace ID otherwise. This holds with tracing off:
+// identity flows even when nothing is recorded.
+func TestTraceparentEcho(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	inbound := "00-" + traceID + "-b7ad6b7169203331-01"
+
+	h := http.Header{}
+	h.Set("traceparent", inbound)
+	resp := postPlan(t, ts.URL, PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320}, h)
+	resp.Body.Close()
+	tp := resp.Header.Get("traceparent")
+	sc, ok := telemetry.ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", tp)
+	}
+	if sc.TraceID() != traceID {
+		t.Errorf("response trace ID = %s, want inbound %s", sc.TraceID(), traceID)
+	}
+	if sc.SpanID() == "b7ad6b7169203331" {
+		t.Error("response span ID equals the inbound span; the server must mint its own")
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != traceID {
+		t.Errorf("X-Request-ID = %q, want the trace ID %q", got, traceID)
+	}
+
+	// Caller-supplied request ID is echoed verbatim.
+	h.Set("X-Request-ID", "req-42")
+	resp = postPlan(t, ts.URL, PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320}, h)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "req-42" {
+		t.Errorf("X-Request-ID = %q, want the echoed %q", got, "req-42")
+	}
+
+	// No inbound identity: a fresh valid traceparent and a request ID.
+	resp = postPlan(t, ts.URL, PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320}, nil)
+	resp.Body.Close()
+	if _, ok := telemetry.ParseTraceparent(resp.Header.Get("traceparent")); !ok {
+		t.Errorf("minted traceparent %q does not parse", resp.Header.Get("traceparent"))
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID minted")
+	}
+}
+
+// TestAccessLogJSON: with a JSON slog logger configured, every request
+// produces exactly one access-log line whose fields carry the route,
+// status, cache outcome and trace identity.
+func TestAccessLogJSON(t *testing.T) {
+	plancache.ResetTables()
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&syncWriter{w: &buf, mu: &mu}, nil))
+	_, ts := newTestServer(t, Config{Logger: logger})
+
+	resp := postPlan(t, ts.URL, PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320},
+		http.Header{"X-Tenant": []string{"acme"}})
+	resp.Body.Close()
+	resp = postPlan(t, ts.URL, PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320}, nil)
+	resp.Body.Close()
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("got %d access-log lines, want 2:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	for i, wantCache := range []string{"built", "hit"} {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatalf("log line %d is not JSON: %v\n%s", i, err, lines[i])
+		}
+		if rec["msg"] != "request" || rec["route"] != "plan" || rec["status"] != float64(200) {
+			t.Errorf("line %d = %v", i, rec)
+		}
+		if rec["cache"] != wantCache {
+			t.Errorf("line %d cache = %v, want %q", i, rec["cache"], wantCache)
+		}
+		trace, _ := rec["trace"].(string)
+		if len(trace) != 32 {
+			t.Errorf("line %d trace = %q, want 32 hex digits", i, trace)
+		}
+		if rec["request_id"] == "" {
+			t.Errorf("line %d has no request_id", i)
+		}
+		if _, ok := rec["dur_ns"].(float64); !ok {
+			t.Errorf("line %d has no dur_ns", i)
+		}
+	}
+	if v, _ := json.Marshal(lines[0]); !bytes.Contains(v, []byte("acme")) {
+		t.Errorf("first line lacks the tenant: %s", lines[0])
+	}
+}
+
+type syncWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestREDMetrics: per-route status-class counters and per-tenant rows
+// advance with each response.
+func TestREDMetrics(t *testing.T) {
+	reg := telemetry.Default()
+	ok2xx := reg.Counter("hpfd.route.plan.2xx").Value()
+	bad4xx := reg.Counter("hpfd.route.plan.4xx").Value()
+
+	_, ts := newTestServer(t, Config{})
+	resp := postPlan(t, ts.URL, PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320},
+		http.Header{"X-Tenant": []string{"red-metrics-tenant"}})
+	resp.Body.Close()
+	resp = postPlan(t, ts.URL, PlanRequest{P: 0, K: 8, L: 4, U: 319, S: 9}, nil) // invalid key
+	resp.Body.Close()
+
+	if got := reg.Counter("hpfd.route.plan.2xx").Value() - ok2xx; got != 1 {
+		t.Errorf("plan 2xx delta = %d, want 1", got)
+	}
+	if got := reg.Counter("hpfd.route.plan.4xx").Value() - bad4xx; got != 1 {
+		t.Errorf("plan 4xx delta = %d, want 1", got)
+	}
+	if got := reg.Counter("hpfd.tenant.red-metrics-tenant.requests").Value(); got != 1 {
+		t.Errorf("tenant requests = %d, want 1", got)
+	}
+	if got := reg.Histogram("hpfd.route.plan.ns").Count(); got < 2 {
+		t.Errorf("plan duration histogram count = %d, want >= 2", got)
+	}
+}
+
+func TestSanitizeTenant(t *testing.T) {
+	for in, want := range map[string]string{
+		"":                       "default",
+		"acme":                   "acme",
+		"a.b/c d":                "a_b_c_d",
+		"UPPER-low_9":            "UPPER-low_9",
+		strings.Repeat("x", 100): strings.Repeat("x", 64),
+	} {
+		if got := sanitizeTenant(in); got != want {
+			t.Errorf("sanitizeTenant(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSLOTracker drives the burn-rate ring with an injected clock.
+func TestSLOTracker(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	tr := newSLOTracker(10*time.Millisecond, func() time.Time { return now })
+	for i := 0; i < 3; i++ {
+		tr.record(5 * time.Millisecond)
+	}
+	tr.record(20 * time.Millisecond)
+	if got := tr.burnBP(60); got != 2500 {
+		t.Errorf("burnBP(60) = %d, want 2500 (1 of 4 over budget)", got)
+	}
+	// Another second of all-over-budget requests shifts the 1m window.
+	now = now.Add(time.Second)
+	tr.record(time.Second)
+	if got := tr.burnBP(60); got != 4000 {
+		t.Errorf("burnBP(60) = %d, want 4000 (2 of 5)", got)
+	}
+	// Far in the future every bucket is stale.
+	now = now.Add(10 * time.Minute)
+	if got := tr.burnBP(300); got != 0 {
+		t.Errorf("burnBP(300) after idle = %d, want 0", got)
+	}
+	// A window larger than the ring clamps rather than double-counting.
+	if got := tr.burnBP(10 * sloWindowSeconds); got != 0 {
+		t.Errorf("oversized window burn = %d, want 0", got)
+	}
+}
+
+// TestSLOGauges: a server with an SLO target publishes the target and
+// burn gauges, and an over-budget request registers in them.
+func TestSLOGauges(t *testing.T) {
+	_, ts := newTestServer(t, Config{SLOTarget: time.Nanosecond})
+	resp := postPlan(t, ts.URL, PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320}, nil)
+	resp.Body.Close()
+
+	snap := telemetry.Default().Snapshot()
+	if got := snap.Gauges["hpfd.slo.target_ns"]; got != 1 {
+		t.Errorf("slo.target_ns = %d, want 1", got)
+	}
+	if got := snap.Gauges["hpfd.slo.burn_bp_1m"]; got != 10000 {
+		t.Errorf("slo.burn_bp_1m = %d, want 10000 (every request over a 1ns budget)", got)
+	}
+	if got := snap.Gauges["hpfd.slo.burn_bp_5m"]; got != 10000 {
+		t.Errorf("slo.burn_bp_5m = %d, want 10000", got)
+	}
+}
+
+// TestSLOGaugesReleased: Close unregisters the burn gauges so the next
+// server (a restart, another test) can register its own.
+func TestSLOGaugesReleased(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		srv, err := New(Config{SLOTarget: time.Millisecond})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		srv.Close()
+	}
+}
+
+// TestRetryAfterSeconds pins the rounding contract: durations round up
+// to whole seconds with a floor of 1.
+func TestRetryAfterSeconds(t *testing.T) {
+	for d, want := range map[time.Duration]int64{
+		0:                       1,
+		time.Nanosecond:         1,
+		time.Millisecond:        1,
+		999 * time.Millisecond:  1,
+		time.Second:             1,
+		time.Second + 1:         2,
+		1500 * time.Millisecond: 2,
+		2 * time.Second:         2,
+		90 * time.Second:        90,
+		3600*time.Second - 1:    3600,
+		3600 * time.Second:      3600,
+		24 * 3600 * time.Second: 86400,
+	} {
+		if got := retryAfterSeconds(d); got != want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+// TestQuotaRetryAfterSaturated: with a saturated token bucket the 429
+// carries a Retry-After derived from the actual refill time, not the
+// floor.
+func TestQuotaRetryAfterSaturated(t *testing.T) {
+	srv, ts := newTestServer(t, Config{TenantRate: 0.5, TenantBurst: 1})
+	clock := time.Unix(5_000_000, 0)
+	srv.quotas.now = func() time.Time { return clock }
+
+	key := PlanRequest{P: 4, K: 8, L: 4, U: 319, S: 9, N: 320}
+	h := http.Header{"X-Tenant": []string{"saturated"}}
+	resp := postPlan(t, ts.URL, key, h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request status = %d", resp.StatusCode)
+	}
+	// Bucket empty, no time passed: one token refills in 1/0.5 = 2 s.
+	resp = postPlan(t, ts.URL, key, h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\" (deficit 1 token at 0.5/s)", got)
+	}
+	// Half the deficit refilled: 1 s remains.
+	clock = clock.Add(time.Second)
+	resp = postPlan(t, ts.URL, key, h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("still-saturated request status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+}

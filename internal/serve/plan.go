@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/plancache"
 	"repro/internal/section"
+	"repro/internal/telemetry"
 )
 
 // PlanRequest is the key tuple of one plan compilation: the cyclic(k)
@@ -112,15 +114,19 @@ type compiledPlan struct {
 // compile builds the full plan document for a normalized request: the
 // shared AM-table set (through the process-wide coalescing table
 // cache), every rank's access sequence and selected kernel, and the
-// serialized body with its deterministic ETag.
-func compile(req PlanRequest) (*compiledPlan, error) {
+// serialized body with its deterministic ETag. Each phase records a
+// child span of the caller's build span (hpfd.tables, hpfd.select,
+// hpfd.encode) so per-phase attribution is visible in request traces.
+func compile(ctx context.Context, req PlanRequest) (*compiledPlan, error) {
 	layout, err := dist.New(req.P, req.K)
 	if err != nil {
 		return nil, err
 	}
 	sec := section.Section{Lo: req.L, Hi: req.U, Stride: req.S}
 	asc, _ := sec.Ascending()
+	_, tspan := telemetry.StartSpan(ctx, "hpfd.tables")
 	ts, err := plancache.Tables(req.P, req.K, asc.Lo, asc.Stride)
+	tspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -136,14 +142,19 @@ func compile(req PlanRequest) (*compiledPlan, error) {
 		doc.Transitions = &Transitions{Delta: delta, Next: next}
 	}
 	u := asc.Last()
+	_, sspan := telemetry.StartSpan(ctx, "hpfd.select")
 	for m := int64(0); m < req.P; m++ {
 		rp, err := compileRank(ts, layout, asc, u, m, delta, next)
 		if err != nil {
+			sspan.End()
 			return nil, err
 		}
 		doc.Ranks[m] = rp
 		doc.TotalCount += rp.Count
 	}
+	sspan.End()
+	_, espan := telemetry.StartSpan(ctx, "hpfd.encode")
+	defer espan.End()
 	body, err := json.Marshal(doc)
 	if err != nil {
 		return nil, err

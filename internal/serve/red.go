@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// RED metrics and SLO burn tracking.
+//
+// The per-request counters in Server answer "how is the service doing
+// overall"; operating a multi-tenant service additionally needs the RED
+// decomposition — Rate, Errors, Duration — keyed by route and by
+// tenant, so one tenant's herd or one route's regression is visible in
+// isolation. The registry has no label support, so labels are folded
+// into metric names (hpfd.route.plan.2xx, hpfd.tenant.acme.throttled),
+// with tenant cardinality bounded the same way the quota table bounds
+// its buckets: past the cap, new tenants share an overflow bucket.
+
+// routeLabel maps a request path onto the bounded route vocabulary used
+// in metric names and access logs.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/plan":
+		return "plan"
+	case "/v1/plan/batch":
+		return "batch"
+	case "/metrics":
+		return "metrics"
+	case "/healthz":
+		return "healthz"
+	case "/trace":
+		return "trace"
+	case "/":
+		return "index"
+	}
+	return "other"
+}
+
+// knownRoutes is the full route vocabulary; redSet precreates a metric
+// row per route so the request path never takes a lock for routes.
+var knownRoutes = []string{"plan", "batch", "metrics", "healthz", "trace", "index", "other"}
+
+// maxTenantMetrics bounds the number of distinct per-tenant metric
+// rows; later tenants aggregate into the "overflow" row.
+const maxTenantMetrics = 256
+
+type routeMetrics struct {
+	// classes[i] counts responses with status in [i*100, i*100+99];
+	// indexes 2..5 are the interesting ones (2xx..5xx).
+	classes [6]*telemetry.Counter
+	ns      *telemetry.Histogram
+}
+
+type tenantMetrics struct {
+	requests  *telemetry.Counter
+	errors    *telemetry.Counter // 5xx
+	throttled *telemetry.Counter // 429
+	ns        *telemetry.Histogram
+}
+
+type redSet struct {
+	routes map[string]*routeMetrics
+
+	mu      sync.RWMutex
+	tenants map[string]*tenantMetrics
+}
+
+func newRedSet() *redSet {
+	reg := telemetry.Default()
+	rs := &redSet{
+		routes:  make(map[string]*routeMetrics, len(knownRoutes)),
+		tenants: make(map[string]*tenantMetrics),
+	}
+	classNames := [6]string{"0xx", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	for _, route := range knownRoutes {
+		rm := &routeMetrics{ns: reg.Histogram("hpfd.route." + route + ".ns")}
+		for i, class := range classNames {
+			rm.classes[i] = reg.Counter("hpfd.route." + route + "." + class)
+		}
+		rs.routes[route] = rm
+	}
+	return rs
+}
+
+// sanitizeTenant maps an arbitrary X-Tenant header value onto a bounded
+// metric-name-safe token.
+func sanitizeTenant(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	if len(tenant) > 64 {
+		tenant = tenant[:64]
+	}
+	var b strings.Builder
+	for i := 0; i < len(tenant); i++ {
+		c := tenant[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (rs *redSet) tenant(name string) *tenantMetrics {
+	rs.mu.RLock()
+	tm, ok := rs.tenants[name]
+	rs.mu.RUnlock()
+	if ok {
+		return tm
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if tm, ok = rs.tenants[name]; ok {
+		return tm
+	}
+	if len(rs.tenants) >= maxTenantMetrics {
+		if tm, ok = rs.tenants["overflow"]; ok {
+			return tm
+		}
+		name = "overflow"
+	}
+	reg := telemetry.Default()
+	prefix := "hpfd.tenant." + name + "."
+	tm = &tenantMetrics{
+		requests:  reg.Counter(prefix + "requests"),
+		errors:    reg.Counter(prefix + "errors"),
+		throttled: reg.Counter(prefix + "throttled"),
+		ns:        reg.Histogram(prefix + "ns"),
+	}
+	rs.tenants[name] = tm
+	return tm
+}
+
+// record folds one finished request into the route and tenant rows.
+func (rs *redSet) record(route, tenant string, status int, d time.Duration) {
+	ns := d.Nanoseconds()
+	rm := rs.routes[route]
+	class := status / 100
+	if class < 0 || class > 5 {
+		class = 0
+	}
+	rm.classes[class].Inc()
+	rm.ns.Observe(ns)
+
+	tm := rs.tenant(sanitizeTenant(tenant))
+	tm.requests.Inc()
+	tm.ns.Observe(ns)
+	if status >= 500 {
+		tm.errors.Inc()
+	}
+	if status == 429 {
+		tm.throttled.Inc()
+	}
+}
+
+// sloWindowSeconds is the tracker's ring span: large enough for the
+// 5-minute burn window.
+const sloWindowSeconds = 300
+
+type sloBucket struct {
+	sec         int64 // unix second this bucket currently holds
+	total, over int64
+}
+
+// sloTracker maintains per-second request/over-budget counts in a ring
+// of sloWindowSeconds buckets, from which burn rates over sliding
+// windows are computed on demand (when /metrics is scraped).
+type sloTracker struct {
+	target time.Duration
+	now    func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets [sloWindowSeconds]sloBucket
+}
+
+func newSLOTracker(target time.Duration, now func() time.Time) *sloTracker {
+	if now == nil {
+		now = time.Now
+	}
+	return &sloTracker{target: target, now: now}
+}
+
+func (t *sloTracker) record(d time.Duration) {
+	sec := t.now().Unix()
+	t.mu.Lock()
+	b := &t.buckets[sec%sloWindowSeconds]
+	if b.sec != sec {
+		b.sec, b.total, b.over = sec, 0, 0
+	}
+	b.total++
+	if d > t.target {
+		b.over++
+	}
+	t.mu.Unlock()
+}
+
+// burnBP returns the fraction of requests over the latency budget in
+// the last window seconds, in basis points (10000 = every request blew
+// the budget); 0 when the window saw no requests.
+func (t *sloTracker) burnBP(window int64) int64 {
+	if window > sloWindowSeconds {
+		window = sloWindowSeconds
+	}
+	cutoff := t.now().Unix() - window
+	var total, over int64
+	t.mu.Lock()
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if b.sec > cutoff {
+			total += b.total
+			over += b.over
+		}
+	}
+	t.mu.Unlock()
+	if total == 0 {
+		return 0
+	}
+	return over * 10000 / total
+}
+
+// sloGaugeNames are the computed gauges an SLO-enabled server registers;
+// Close unregisters them by the same list.
+var sloGaugeNames = []string{"hpfd.slo.burn_bp_1m", "hpfd.slo.burn_bp_5m"}
+
+// register publishes the burn-rate gauges and the static target.
+func (t *sloTracker) register() error {
+	reg := telemetry.Default()
+	reg.Gauge("hpfd.slo.target_ns").Set(t.target.Nanoseconds())
+	if err := reg.RegisterGaugeFunc("hpfd.slo.burn_bp_1m", func() int64 { return t.burnBP(60) }); err != nil {
+		return err
+	}
+	if err := reg.RegisterGaugeFunc("hpfd.slo.burn_bp_5m", func() int64 { return t.burnBP(300) }); err != nil {
+		reg.UnregisterGaugeFunc("hpfd.slo.burn_bp_1m")
+		return err
+	}
+	return nil
+}

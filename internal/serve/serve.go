@@ -15,10 +15,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -51,11 +53,20 @@ type Config struct {
 	// as plancache.<MetricsName>.* gauges in the default telemetry
 	// registry; Close unregisters them. cmd/hpfd uses "hpfd.plans".
 	MetricsName string
+	// Logger, when non-nil, receives a structured access-log record per
+	// request plus service lifecycle events. nil disables access logging.
+	Logger *slog.Logger
+	// SLOTarget, when positive, publishes SLO burn-rate gauges
+	// (hpfd.slo.*): the fraction of requests slower than this budget
+	// over 1- and 5-minute sliding windows. Close unregisters them.
+	SLOTarget time.Duration
 
 	// compileHook, when set, runs inside every plan compilation (after
 	// admission, before the actual build) — the test seam that makes
 	// compiles observably slow for shutdown-drain and herd tests.
 	compileHook func(PlanRequest)
+	// sloNow, when set, replaces the SLO tracker's clock in tests.
+	sloNow func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +94,9 @@ type Server struct {
 	quotas *quotas
 	sem    chan struct{}
 	mux    *http.ServeMux
+	logger *slog.Logger
+	red    *redSet
+	slo    *sloTracker
 
 	requests    *telemetry.Counter
 	ok          *telemetry.Counter
@@ -129,6 +143,15 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.logger = cfg.Logger
+	s.red = newRedSet()
+	if cfg.SLOTarget > 0 {
+		s.slo = newSLOTracker(cfg.SLOTarget, cfg.sloNow)
+		if err := s.slo.register(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/plan/batch", s.handleBatch)
@@ -147,8 +170,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP surface, wrapped in the
+// request-scoped observability middleware (trace identity, root span,
+// access log, RED/SLO accounting).
+func (s *Server) Handler() http.Handler { return s.observe(s.mux) }
 
 // Stats snapshots the compiled-plan cache counters (Misses = plans
 // actually compiled, Coalesced = herd waiters that reused an in-flight
@@ -159,12 +184,16 @@ func (s *Server) Stats() plancache.Stats { return s.cache.Stats() }
 // server (a test, a restart) can reuse them. It does not stop in-flight
 // requests; that is the owning http.Server's Shutdown.
 func (s *Server) Close() {
-	if s.cfg.MetricsName == "" {
-		return
-	}
 	reg := telemetry.Default()
-	for _, suffix := range []string{"hits", "misses", "evictions", "entries", "coalesced"} {
-		reg.UnregisterGaugeFunc("plancache." + s.cfg.MetricsName + "." + suffix)
+	if s.cfg.MetricsName != "" {
+		for _, suffix := range []string{"hits", "misses", "evictions", "entries", "coalesced"} {
+			reg.UnregisterGaugeFunc("plancache." + s.cfg.MetricsName + "." + suffix)
+		}
+	}
+	if s.slo != nil {
+		for _, name := range sloGaugeNames {
+			reg.UnregisterGaugeFunc(name)
+		}
 	}
 }
 
@@ -173,14 +202,28 @@ func (s *Server) Close() {
 var errOverloaded = errors.New("serve: compile capacity exhausted")
 
 // plan returns the compiled plan for req (normalizing it first),
-// through the coalescing cache. Admission control bounds only actual
-// compiles: cache hits and coalesced waiters are never refused.
-func (s *Server) plan(req PlanRequest) (*compiledPlan, error) {
+// through the coalescing cache, reporting how the lookup was satisfied.
+// Admission control bounds only actual compiles: cache hits and
+// coalesced waiters are never refused.
+//
+// The span layout mirrors the singleflight structure: the winning
+// caller's trace carries an hpfd.build span (with hpfd.tables /
+// hpfd.select / hpfd.encode children from compile); the builder
+// publishes that span's ID through the flight note, and every coalesced
+// waiter records an hpfd.wait span in its *own* trace whose Link names
+// the build span — the cross-trace edge hpfprof -serve stitches the
+// coalescing tree from.
+func (s *Server) plan(ctx context.Context, req PlanRequest) (*compiledPlan, plancache.FlightOutcome, error) {
 	key, err := req.normalize()
 	if err != nil {
-		return nil, &badRequestError{err}
+		return nil, plancache.FlightHit, &badRequestError{err}
 	}
-	build := func() (*compiledPlan, error) {
+	build := func(note func(uint64)) (*compiledPlan, error) {
+		bctx, bspan := telemetry.StartSpan(ctx, "hpfd.build")
+		if bspan.Recording() {
+			note(bspan.Context().Span)
+		}
+		defer bspan.End()
 		select {
 		case s.sem <- struct{}{}:
 		default:
@@ -193,23 +236,35 @@ func (s *Server) plan(req PlanRequest) (*compiledPlan, error) {
 			s.cfg.compileHook(key)
 		}
 		t0 := time.Now()
-		cp, err := compile(key)
+		cp, err := compile(bctx, key)
 		s.compileNs.Observe(time.Since(t0).Nanoseconds())
 		return cp, err
 	}
 	if s.cfg.NoCoalesce {
 		// The pre-singleflight code path: concurrent misses each build.
 		if cp, ok := s.cache.Get(key); ok {
-			return cp, nil
+			return cp, plancache.FlightHit, nil
 		}
-		cp, err := build()
+		cp, err := build(func(uint64) {})
 		if err != nil {
-			return nil, err
+			return nil, plancache.FlightBuilt, err
 		}
 		s.cache.Put(key, cp)
-		return cp, nil
+		return cp, plancache.FlightBuilt, nil
 	}
-	return s.cache.GetOrCompute(key, build)
+	var waitStart int64
+	if tr := telemetry.ActiveTracer(); tr != nil {
+		waitStart = tr.Now()
+	}
+	cp, outcome, buildSpan, err := s.cache.GetOrComputeFlight(key, build)
+	if outcome == plancache.FlightCoalesced {
+		// The wait span is only known to have existed once the winning
+		// build finishes, so it is recorded after the fact, backdated to
+		// when this caller started waiting.
+		_, ws := telemetry.StartSpanAt(ctx, "hpfd.wait", waitStart)
+		ws.EndLink(buildSpan)
+	}
+	return cp, outcome, err
 }
 
 // badRequestError wraps a key-validation failure so the handlers can
@@ -247,11 +302,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
-	cp, err := s.plan(req)
+	cp, outcome, err := s.plan(r.Context(), req)
 	if err != nil {
+		setOutcome(r.Context(), "error")
 		s.writePlanError(w, err)
 		return
 	}
+	setOutcome(r.Context(), outcome.String())
 	// The plan is immutable and keyed by its inputs, so the ETag is
 	// permanent: a client or proxy holding a matching copy never needs
 	// the body again.
@@ -316,7 +373,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := batchResponse{Schema: BatchSchema, Results: make([]batchResult, len(breq.Requests))}
 	for i, req := range breq.Requests {
-		cp, err := s.plan(req)
+		cp, _, err := s.plan(r.Context(), req)
 		if err != nil {
 			resp.Results[i].Error = err.Error()
 			var bad *badRequestError
@@ -339,10 +396,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // admitTenant applies the per-tenant token bucket; on refusal it writes
 // the 429 and reports false.
 func (s *Server) admitTenant(w http.ResponseWriter, r *http.Request) bool {
+	_, span := telemetry.StartSpan(r.Context(), "hpfd.admission")
 	ok, retryAfter := s.quotas.allow(r.Header.Get("X-Tenant"))
+	span.End()
 	if ok {
 		return true
 	}
+	setOutcome(r.Context(), "quota")
 	s.quota429.Inc()
 	w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(retryAfter), 10))
 	s.writeErrorStatus(w, http.StatusTooManyRequests, fmt.Errorf("tenant quota exhausted"))

@@ -72,15 +72,26 @@ const HostRank = -1
 // (src, dst, name, seq) describe the same message, which is how the
 // trace-analysis layer stitches per-rank timelines into a causal
 // happens-before graph.
+// For KindSpan, the TraceHi/TraceLo/Span/Parent/Link fields carry the
+// W3C-style request-trace identity recorded by the Span API (span.go):
+// a 128-bit trace ID, this span's 64-bit ID, its parent span within the
+// same trace, and an optional cross-trace causal link (a singleflight
+// waiter links to the winning build's span). All five are 0 for events
+// that are not request-scoped.
 type Event struct {
-	Kind  Kind
-	Name  string
-	Rank  int32
-	Peer  int32
-	Bytes int64
-	Seq   int64
-	Start int64
-	Dur   int64
+	Kind    Kind
+	Name    string
+	Rank    int32
+	Peer    int32
+	Bytes   int64
+	Seq     int64
+	Start   int64
+	Dur     int64
+	TraceHi uint64
+	TraceLo uint64
+	Span    uint64
+	Parent  uint64
+	Link    uint64
 }
 
 // MessagePair links a send event to its matching recv event by index
@@ -356,7 +367,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Pid:  0,
 			Tid:  t.chromeTid(e.Rank),
 		}
-		if e.Peer >= 0 || e.Bytes > 0 || e.Seq > 0 {
+		if e.Peer >= 0 || e.Bytes > 0 || e.Seq > 0 || e.Span != 0 {
 			ce.Args = map[string]any{}
 			if e.Peer >= 0 {
 				ce.Args["peer"] = e.Peer
@@ -366,6 +377,18 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 			if e.Seq > 0 {
 				ce.Args["seq"] = e.Seq
+			}
+			// Request-scoped span identity, as the same hex strings the
+			// trace/v1 export and traceparent headers use.
+			if e.Span != 0 {
+				ce.Args["trace"] = SpanContext{TraceHi: e.TraceHi, TraceLo: e.TraceLo}.TraceID()
+				ce.Args["span"] = SpanIDString(e.Span)
+				if e.Parent != 0 {
+					ce.Args["parent"] = SpanIDString(e.Parent)
+				}
+				if e.Link != 0 {
+					ce.Args["link"] = SpanIDString(e.Link)
+				}
 			}
 		}
 		if e.Dur == 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // TraceSchema identifies the tracer's self-describing JSON export. The
@@ -27,15 +28,25 @@ type TraceDoc struct {
 // TraceEvent is the wire form of Event: kinds by name, every field
 // explicit (peer -1 means "no counterpart", seq 0 "no sequence
 // number"). Times are nanoseconds since the tracer's epoch.
+//
+// Request-scoped spans additionally carry their identity as hex strings
+// — Trace is the 32-digit trace ID, Span/Parent/Link 16-digit span IDs
+// — rather than JSON numbers, because span IDs use the full uint64
+// range and would lose precision in consumers that read JSON numbers as
+// float64.
 type TraceEvent struct {
-	Kind  string `json:"kind"`
-	Name  string `json:"name"`
-	Rank  int32  `json:"rank"`
-	Peer  int32  `json:"peer"`
-	Bytes int64  `json:"bytes,omitempty"`
-	Seq   int64  `json:"seq,omitempty"`
-	Start int64  `json:"start"`
-	Dur   int64  `json:"dur"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Rank   int32  `json:"rank"`
+	Peer   int32  `json:"peer"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	Seq    int64  `json:"seq,omitempty"`
+	Start  int64  `json:"start"`
+	Dur    int64  `json:"dur"`
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Link   string `json:"link,omitempty"`
 }
 
 // TraceDoc captures the tracer's retained events as a trace/v1
@@ -50,10 +61,23 @@ func (t *Tracer) TraceDoc() TraceDoc {
 		Events:   make([]TraceEvent, len(events)),
 	}
 	for i, e := range events {
-		doc.Events[i] = TraceEvent{
+		we := TraceEvent{
 			Kind: e.Kind.String(), Name: e.Name, Rank: e.Rank, Peer: e.Peer,
 			Bytes: e.Bytes, Seq: e.Seq, Start: e.Start, Dur: e.Dur,
 		}
+		if e.TraceHi|e.TraceLo != 0 {
+			we.Trace = SpanContext{TraceHi: e.TraceHi, TraceLo: e.TraceLo}.TraceID()
+		}
+		if e.Span != 0 {
+			we.Span = SpanIDString(e.Span)
+		}
+		if e.Parent != 0 {
+			we.Parent = SpanIDString(e.Parent)
+		}
+		if e.Link != 0 {
+			we.Link = SpanIDString(e.Link)
+		}
+		doc.Events[i] = we
 	}
 	return doc
 }
@@ -84,6 +108,14 @@ func ReadTraceV1(r io.Reader) (*TraceDoc, error) {
 		if _, ok := KindFromString(e.Kind); !ok {
 			return nil, fmt.Errorf("telemetry: event %d has unknown kind %q", i, e.Kind)
 		}
+		if e.Trace != "" && (len(e.Trace) != 32 || !isHex(e.Trace)) {
+			return nil, fmt.Errorf("telemetry: event %d has malformed trace ID %q", i, e.Trace)
+		}
+		for _, id := range [...]string{e.Span, e.Parent, e.Link} {
+			if id != "" && (len(id) != 16 || !isHex(id)) {
+				return nil, fmt.Errorf("telemetry: event %d has malformed span ID %q", i, id)
+			}
+		}
 	}
 	return &doc, nil
 }
@@ -97,10 +129,24 @@ func (d *TraceDoc) RuntimeEvents() []Event {
 		if !ok {
 			continue
 		}
-		out = append(out, Event{
+		re := Event{
 			Kind: k, Name: e.Name, Rank: e.Rank, Peer: e.Peer,
 			Bytes: e.Bytes, Seq: e.Seq, Start: e.Start, Dur: e.Dur,
-		})
+		}
+		if len(e.Trace) == 32 {
+			re.TraceHi, _ = strconv.ParseUint(e.Trace[:16], 16, 64)
+			re.TraceLo, _ = strconv.ParseUint(e.Trace[16:], 16, 64)
+		}
+		if len(e.Span) == 16 {
+			re.Span, _ = strconv.ParseUint(e.Span, 16, 64)
+		}
+		if len(e.Parent) == 16 {
+			re.Parent, _ = strconv.ParseUint(e.Parent, 16, 64)
+		}
+		if len(e.Link) == 16 {
+			re.Link, _ = strconv.ParseUint(e.Link, 16, 64)
+		}
+		out = append(out, re)
 	}
 	return out
 }

@@ -1,0 +1,206 @@
+package traceanalysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Service-request analysis: hpfd records every request as a tree of
+// spans (hpfd.request → hpfd.admission / hpfd.build / hpfd.wait, the
+// build carrying hpfd.tables / hpfd.select / hpfd.encode children) plus
+// cross-trace links from coalesced waiters to the winning build.
+// AnalyzeServe reconstructs per-phase latency attribution and the
+// coalescing tree from those spans — the "where did the 268 ms go"
+// answer for a plan request, from a trace dump alone.
+
+// servePhaseOrder fixes the report's row order: the request envelope
+// first, then its direct phases, then the build's internal phases, then
+// the remainder the spans do not explain.
+var servePhaseOrder = []string{
+	"request", "admission", "wait", "build", "tables", "select", "encode", "unattributed",
+}
+
+// spanPhase maps a span name onto its report row; unknown hpfd spans
+// are ignored so future instrumentation does not break old analyzers.
+var spanPhase = map[string]string{
+	"hpfd.request":   "request",
+	"hpfd.admission": "admission",
+	"hpfd.wait":      "wait",
+	"hpfd.build":     "build",
+	"hpfd.tables":    "tables",
+	"hpfd.select":    "select",
+	"hpfd.encode":    "encode",
+}
+
+// ServePhase is the latency distribution of one request phase across
+// the trace. Percentiles are exact (computed over every sample).
+type ServePhase struct {
+	Name    string `json:"name"`
+	Count   int    `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	P50Ns   int64  `json:"p50_ns"`
+	P99Ns   int64  `json:"p99_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// ServeFlight is one coalesced compile: the winning build span and the
+// waiters from other requests' traces that linked to it.
+type ServeFlight struct {
+	BuildSpan   string `json:"build_span"` // hex span ID
+	Trace       string `json:"trace"`      // hex trace ID of the builder's request
+	BuildNs     int64  `json:"build_ns"`
+	Waiters     int    `json:"waiters"`
+	TotalWaitNs int64  `json:"total_wait_ns"`
+}
+
+// ServeAnalysis is the full service-side request attribution.
+type ServeAnalysis struct {
+	Requests int `json:"requests"`
+	Builds   int `json:"builds"`
+	Waiters  int `json:"waiters"`
+	// Dropped is carried from the trace document: nonzero means the
+	// rings overwrote events and some requests may be partial.
+	Dropped int64         `json:"dropped"`
+	Phases  []ServePhase  `json:"phases"`
+	Flights []ServeFlight `json:"flights"`
+}
+
+// Phase returns the named phase row, or a zero row when the trace had
+// no samples for it.
+func (a *ServeAnalysis) Phase(name string) ServePhase {
+	for _, p := range a.Phases {
+		if p.Name == name {
+			return p
+		}
+	}
+	return ServePhase{Name: name}
+}
+
+// AnalyzeServe builds the request attribution from a trace/v1 document
+// dumped by hpfd. It errors when the trace carries no hpfd.request
+// spans — the caller probably dumped an SPMD trace by mistake.
+func AnalyzeServe(doc *telemetry.TraceDoc) (*ServeAnalysis, error) {
+	events := doc.RuntimeEvents()
+	samples := map[string][]int64{}
+	var requests, builds []telemetry.Event
+	waitersByLink := map[uint64][]telemetry.Event{}
+	// childNs sums each request span's direct-child durations so the
+	// remainder (mux, JSON write, handler overhead) is reportable.
+	childNs := map[uint64]int64{}
+
+	for _, e := range events {
+		if e.Kind != telemetry.KindSpan || e.Span == 0 {
+			continue
+		}
+		phase, ok := spanPhase[e.Name]
+		if !ok {
+			continue
+		}
+		samples[phase] = append(samples[phase], e.Dur)
+		switch phase {
+		case "request":
+			requests = append(requests, e)
+		case "build":
+			builds = append(builds, e)
+		case "wait":
+			waitersByLink[e.Link] = append(waitersByLink[e.Link], e)
+		}
+		if phase == "admission" || phase == "build" || phase == "wait" {
+			childNs[e.Parent] += e.Dur
+		}
+	}
+	if len(requests) == 0 {
+		return nil, fmt.Errorf("traceanalysis: no hpfd.request spans in the trace (is this an hpfd dump?)")
+	}
+	for _, r := range requests {
+		rem := r.Dur - childNs[r.Span]
+		if rem < 0 {
+			rem = 0
+		}
+		samples["unattributed"] = append(samples["unattributed"], rem)
+	}
+
+	a := &ServeAnalysis{
+		Requests: len(requests),
+		Builds:   len(builds),
+		Dropped:  doc.Dropped,
+	}
+	for _, ws := range waitersByLink {
+		a.Waiters += len(ws)
+	}
+	for _, name := range servePhaseOrder {
+		durs := samples[name]
+		if len(durs) == 0 {
+			continue
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		p := ServePhase{Name: name, Count: len(durs), MaxNs: durs[len(durs)-1]}
+		for _, d := range durs {
+			p.TotalNs += d
+		}
+		p.P50Ns = exactQuantile(durs, 0.50)
+		p.P99Ns = exactQuantile(durs, 0.99)
+		a.Phases = append(a.Phases, p)
+	}
+	sort.Slice(builds, func(i, j int) bool { return builds[i].Start < builds[j].Start })
+	for _, b := range builds {
+		f := ServeFlight{
+			BuildSpan: telemetry.SpanIDString(b.Span),
+			Trace:     telemetry.SpanContext{TraceHi: b.TraceHi, TraceLo: b.TraceLo}.TraceID(),
+			BuildNs:   b.Dur,
+			Waiters:   len(waitersByLink[b.Span]),
+		}
+		for _, w := range waitersByLink[b.Span] {
+			f.TotalWaitNs += w.Dur
+		}
+		a.Flights = append(a.Flights, f)
+	}
+	return a, nil
+}
+
+// exactQuantile reads the q-quantile of sorted durations using the
+// nearest-rank rule, matching the registry histograms' convention of
+// "the smallest value covering at least q of the samples".
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteText renders the attribution tables.
+func (a *ServeAnalysis) WriteText(w io.Writer) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("hpfd request attribution: %d requests, %d builds, %d coalesced waiters\n",
+		a.Requests, a.Builds, a.Waiters)
+	if a.Dropped > 0 {
+		pr("WARNING: rings overwrote %d events; some requests are partial\n", a.Dropped)
+	}
+	pr("\nphase         count        p50_ns        p99_ns        max_ns      total_ns\n")
+	for _, p := range a.Phases {
+		pr("%-12s %6d  %12d  %12d  %12d  %12d\n", p.Name, p.Count, p.P50Ns, p.P99Ns, p.MaxNs, p.TotalNs)
+	}
+	if len(a.Flights) > 0 {
+		pr("\ncoalescing tree (%d flights)\n", len(a.Flights))
+		pr("%-16s  %-32s  %12s  %7s  %13s\n", "build_span", "trace", "build_ns", "waiters", "total_wait_ns")
+		for _, f := range a.Flights {
+			pr("%-16s  %-32s  %12d  %7d  %13d\n", f.BuildSpan, f.Trace, f.BuildNs, f.Waiters, f.TotalWaitNs)
+		}
+	}
+	return err
+}

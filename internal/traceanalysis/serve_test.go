@@ -1,0 +1,126 @@
+package traceanalysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// syntheticServeDoc is a hand-authored hpfd trace: request A compiles a
+// cold key (admission 1 µs, build 28 µs with tables/select/encode
+// children), request B coalesces onto A's build (wait 27.5 µs linked to
+// the build span), and request C is a warm hit. Every number in the
+// golden report is derivable from these by hand.
+func syntheticServeDoc() *telemetry.TraceDoc {
+	span := func(name string, trace, id, parent, link uint64, start, dur int64) telemetry.TraceEvent {
+		e := telemetry.TraceEvent{
+			Kind: "span", Name: name, Rank: telemetry.HostRank, Peer: -1,
+			Start: start, Dur: dur,
+			Trace: telemetry.SpanContext{TraceLo: trace}.TraceID(),
+			Span:  telemetry.SpanIDString(id),
+		}
+		if parent != 0 {
+			e.Parent = telemetry.SpanIDString(parent)
+		}
+		if link != 0 {
+			e.Link = telemetry.SpanIDString(link)
+		}
+		return e
+	}
+	return &telemetry.TraceDoc{
+		Schema:   telemetry.TraceSchema,
+		Capacity: 64,
+		Events: []telemetry.TraceEvent{
+			// Request A: the builder.
+			span("hpfd.admission", 0xa, 0x102, 0x101, 0, 100, 1000),
+			span("hpfd.tables", 0xa, 0x104, 0x103, 0, 1200, 20000),
+			span("hpfd.select", 0xa, 0x105, 0x103, 0, 21200, 6000),
+			span("hpfd.encode", 0xa, 0x106, 0x103, 0, 27200, 1500),
+			span("hpfd.build", 0xa, 0x103, 0x101, 0, 1100, 28000),
+			span("hpfd.request", 0xa, 0x101, 0, 0, 0, 30000),
+			// Request B: coalesced waiter, linked to A's build span.
+			span("hpfd.admission", 0xb, 0x202, 0x201, 0, 550, 500),
+			span("hpfd.wait", 0xb, 0x203, 0x201, 0x103, 1100, 27500),
+			span("hpfd.request", 0xb, 0x201, 0, 0, 500, 29000),
+			// Request C: a warm hit.
+			span("hpfd.admission", 0xc, 0x302, 0x301, 0, 40100, 300),
+			span("hpfd.request", 0xc, 0x301, 0, 0, 40000, 2000),
+			// Non-request noise an hpfd process also records.
+			{Kind: "span", Name: "machine.run", Rank: telemetry.HostRank, Peer: -1, Start: 0, Dur: 50000},
+		},
+	}
+}
+
+func TestAnalyzeServe(t *testing.T) {
+	a, err := AnalyzeServe(syntheticServeDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != 3 || a.Builds != 1 || a.Waiters != 1 {
+		t.Fatalf("requests/builds/waiters = %d/%d/%d, want 3/1/1", a.Requests, a.Builds, a.Waiters)
+	}
+	for _, want := range []ServePhase{
+		{Name: "request", Count: 3, TotalNs: 61000, P50Ns: 29000, P99Ns: 30000, MaxNs: 30000},
+		{Name: "admission", Count: 3, TotalNs: 1800, P50Ns: 500, P99Ns: 1000, MaxNs: 1000},
+		{Name: "wait", Count: 1, TotalNs: 27500, P50Ns: 27500, P99Ns: 27500, MaxNs: 27500},
+		{Name: "build", Count: 1, TotalNs: 28000, P50Ns: 28000, P99Ns: 28000, MaxNs: 28000},
+		{Name: "tables", Count: 1, TotalNs: 20000, P50Ns: 20000, P99Ns: 20000, MaxNs: 20000},
+		{Name: "select", Count: 1, TotalNs: 6000, P50Ns: 6000, P99Ns: 6000, MaxNs: 6000},
+		{Name: "encode", Count: 1, TotalNs: 1500, P50Ns: 1500, P99Ns: 1500, MaxNs: 1500},
+		// A: 30000−29000=1000, B: 29000−28000=1000, C: 2000−300=1700.
+		{Name: "unattributed", Count: 3, TotalNs: 3700, P50Ns: 1000, P99Ns: 1700, MaxNs: 1700},
+	} {
+		if got := a.Phase(want.Name); got != want {
+			t.Errorf("phase %s = %+v, want %+v", want.Name, got, want)
+		}
+	}
+	if len(a.Flights) != 1 {
+		t.Fatalf("flights = %+v, want 1", a.Flights)
+	}
+	f := a.Flights[0]
+	if f.BuildSpan != "0000000000000103" || f.Waiters != 1 || f.TotalWaitNs != 27500 || f.BuildNs != 28000 {
+		t.Errorf("flight = %+v", f)
+	}
+}
+
+func TestAnalyzeServeErrors(t *testing.T) {
+	doc := &telemetry.TraceDoc{Schema: telemetry.TraceSchema}
+	if _, err := AnalyzeServe(doc); err == nil {
+		t.Error("no error for a trace without request spans")
+	}
+	// An SPMD trace (spans but no hpfd.request) is also rejected.
+	doc.Events = []telemetry.TraceEvent{
+		{Kind: "span", Name: "machine.run", Rank: telemetry.HostRank, Peer: -1, Dur: 100},
+	}
+	if _, err := AnalyzeServe(doc); err == nil {
+		t.Error("no error for an SPMD trace")
+	}
+}
+
+func TestServeGoldenReport(t *testing.T) {
+	a, err := AnalyzeServe(syntheticServeDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "serve_report_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden (re-run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
